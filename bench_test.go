@@ -1,0 +1,280 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family
+// per table/figure, plus the ablations called out in DESIGN.md. Heavy
+// cases (m = 512, 1024) take seconds per iteration; run with
+// -benchtime=1x for a single-pass regeneration:
+//
+//	go test -bench=. -benchmem -benchtime=1x .
+package timeprints_test
+
+import (
+	"fmt"
+	"testing"
+
+	timeprints "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/experiments"
+	"repro/internal/reconstruct"
+)
+
+// benchBudget caps each SAT call inside the table benchmarks. The
+// paper's own hardest cells run for tens of minutes (e.g. Table 2's
+// 512/4 c-SAT at 33m17s on CryptoMiniSat); the budget keeps a full
+// benchmark sweep to minutes while still exposing the ordering. Cells
+// that exhaust it report a nonzero "timeouts" metric.
+const benchBudget = 2_000_000
+
+// BenchmarkTable1 times each (m, k, query) cell of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for _, c := range bench.Table1Cases(testing.Short()) {
+		m, k := c[0], c[1]
+		enc, err := bench.CachedEncoding("incremental", m, bench.PaperB[m], 4, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := core.Log(enc, bench.PlantedSignal(m, k))
+		for _, q := range bench.Queries() {
+			b.Run(fmt.Sprintf("m=%d/k=%d/%s", m, k, q.Name), func(b *testing.B) {
+				timeouts := 0
+				for i := 0; i < b.N; i++ {
+					if cell := bench.RunQuery(enc, entry, q, benchBudget); cell.TimedOut {
+						timeouts++
+					}
+				}
+				b.ReportMetric(float64(timeouts), "timeouts")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 times the encoding-scheme comparison cells.
+func BenchmarkTable2(b *testing.B) {
+	for _, c := range bench.Table2Cases(testing.Short()) {
+		m, k := c[0], c[1]
+		sig := bench.PlantedSignal(m, k)
+		for _, scheme := range []struct {
+			name string
+			gen  string
+			bits int
+			seed int64
+		}{
+			{"incremental", "incremental", bench.PaperB[m], 0},
+			{"random", "random", bench.RandomB[m], 1},
+		} {
+			enc, err := bench.CachedEncoding(scheme.gen, m, scheme.bits, 4, scheme.seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			entry := core.Log(enc, sig)
+			for _, q := range bench.Queries() {
+				if q.Limit != 1 {
+					continue
+				}
+				b.Run(fmt.Sprintf("m=%d/k=%d/%s/%s", m, k, scheme.name, q.Name), func(b *testing.B) {
+					timeouts := 0
+					for i := 0; i < b.N; i++ {
+						if cell := bench.RunQuery(enc, entry, q, benchBudget); cell.TimedOut {
+							timeouts++
+						}
+					}
+					b.ReportMetric(float64(timeouts), "timeouts")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 reruns the didactic staircase (256 -> 8 -> 1).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AnyK != 256 || res.WithK != 8 || res.WithProperty != 1 {
+			b.Fatalf("staircase %d/%d/%d, want 256/8/1", res.AnyK, res.WithK, res.WithProperty)
+		}
+	}
+}
+
+// BenchmarkCANReconstruction regenerates Section 5.2.1: whole-cycle
+// and windowed reconstruction plus the deadline proof.
+func BenchmarkCANReconstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCAN(experiments.DefaultCANConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.WholeOffsets) != 1 || res.WholeOffsets[0] != 823 {
+			b.Fatalf("offsets %v", res.WholeOffsets)
+		}
+	}
+}
+
+// BenchmarkRefreshDetect regenerates Section 5.2.2 at one ambient.
+func BenchmarkRefreshDetect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRefresh(experiments.DefaultRefreshConfig(45))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.TPMismatches) == 0 {
+			b.Fatal("no mismatches")
+		}
+	}
+}
+
+// BenchmarkLogging measures the on-line cost of the logging procedure
+// itself — the part that would run in hardware.
+func BenchmarkLogging(b *testing.B) {
+	enc, err := timeprints.NewEncoding(1024, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	logger := timeprints.NewLogger(enc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logger.TickChange(i%37 == 0)
+	}
+}
+
+// BenchmarkEncodingGeneration measures the one-time setup cost of the
+// paper's two generators.
+func BenchmarkEncodingGeneration(b *testing.B) {
+	for _, tc := range []struct {
+		scheme string
+		m, bts int
+	}{
+		{"incremental", 64, 13},
+		{"incremental", 1024, 24},
+		{"random", 512, 31},
+	} {
+		b.Run(fmt.Sprintf("%s/m=%d", tc.scheme, tc.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				if tc.scheme == "incremental" {
+					_, err = encoding.Incremental(tc.m, tc.bts, 4)
+				} else {
+					_, err = encoding.RandomConstrained(tc.m, tc.bts, 4, int64(i), 0)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationCardinality compares the Sinz sequential counter
+// against the naive binomial encoding.
+func BenchmarkAblationCardinality(b *testing.B) {
+	// m is kept small: the binomial encoding needs C(m, k+1) clauses
+	// and refuses anything explosive by design.
+	enc, err := bench.CachedEncoding("incremental", 32, 11, 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry := core.Log(enc, bench.PlantedSignal(32, 3))
+	for _, mode := range []struct {
+		name string
+		opts reconstruct.Options
+	}{
+		{"sinz", reconstruct.Options{}},
+		{"binomial", reconstruct.Options{BinomialCardinality: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec, err := reconstruct.New(enc, entry, nil, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, exhausted := rec.Enumerate(10); !exhausted && false {
+					b.Fatal("unreachable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationXor compares native XOR clauses (with and without
+// cutting) against Tseitin CNF expansion.
+func BenchmarkAblationXor(b *testing.B) {
+	enc, err := bench.CachedEncoding("incremental", 128, 16, 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry := core.Log(enc, bench.PlantedSignal(128, 4))
+	for _, mode := range []struct {
+		name string
+		opts reconstruct.Options
+	}{
+		{"native-cut8", reconstruct.Options{}},
+		{"native-uncut", reconstruct.Options{XorCutLen: -1}},
+		{"native-cut4", reconstruct.Options{XorCutLen: 4}},
+		{"native-cut16", reconstruct.Options{XorCutLen: 16}},
+		{"tseitin-cnf", reconstruct.Options{XorAsCNF: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec, err := reconstruct.New(enc, entry, nil, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec.Enumerate(10)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSATvsBruteForce compares the SAT path against
+// Gaussian coset enumeration where the latter is feasible.
+func BenchmarkAblationSATvsBruteForce(b *testing.B) {
+	enc, err := bench.CachedEncoding("incremental", 20, 10, 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry := core.Log(enc, bench.PlantedSignal(20, 4))
+	b.Run("sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Enumerate(0)
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reconstruct.BruteForce(enc, entry, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLIDepth quantifies what the LI-4 constraint buys:
+// ambiguity (candidate count) and solve time under weaker depths.
+func BenchmarkAblationLIDepth(b *testing.B) {
+	for _, d := range []int{2, 3, 4} {
+		enc, err := bench.CachedEncoding("incremental", 64, 13, d, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := core.Log(enc, bench.PlantedSignal(64, 4))
+		b.Run(fmt.Sprintf("LI-%d", d), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				rec, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sigs, _ := rec.Enumerate(0)
+				total = len(sigs)
+			}
+			b.ReportMetric(float64(total), "candidates")
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command canforensics is the CAN postmortem tool of Section 5.2.1: it
+// generates (or accepts parameters describing) a CAN scenario with a
+// delayed message, logs timeprints of the bus line, and answers the
+// liability question from the log alone — reconstructing when the
+// frame appeared on the wire and proving whether it could have met its
+// deadline.
+//
+//	canforensics -start 823 -deadline 900 -window 665 [-m 1000 -b 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	timeprints "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultCANConfig()
+	flag.IntVar(&cfg.M, "m", cfg.M, "trace-cycle length in bit times")
+	flag.IntVar(&cfg.B, "b", cfg.B, "timestamp width")
+	flag.IntVar(&cfg.StartCycle, "start", cfg.StartCycle, "delayed frame start cycle within the trace-cycle")
+	flag.IntVar(&cfg.DeadlineCycle, "deadline", cfg.DeadlineCycle, "deadline cycle within the trace-cycle")
+	flag.IntVar(&cfg.WindowLo, "window", cfg.WindowLo, "failure window start cycle")
+	flag.Float64Var(&cfg.BitRate, "bitrate", cfg.BitRate, "bus bit rate in bit/s")
+	verbose := flag.Bool("v", false, "print the software log")
+	flag.Parse()
+
+	res, err := experiments.RunCAN(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canforensics:", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		fmt.Println("software log:")
+		for _, r := range res.SoftwareLog {
+			fmt.Printf("  %s\n", r)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("timeprint log: %d bits per trace-cycle, %.0f bit/s\n",
+		timeprints.BitsPerTraceCycle(cfg.B, cfg.M), res.LogRateBps)
+	fmt.Printf("trace-cycle %d: TP=%s k=%d\n", res.TraceCycle, res.Entry.TP, res.Entry.K)
+	fmt.Printf("whole-cycle reconstruction: start offsets %v (%v)\n", res.WholeOffsets, res.WholeDuration)
+	fmt.Printf("window reconstruction:      start offsets %v (%v)\n", res.WindowOffsets, res.WindowDuration)
+	fmt.Printf("met-deadline proof:         %v (%v)\n", res.DeadlineStatus, res.DeadlineDuration)
+
+	if len(res.WholeOffsets) == 1 {
+		start := res.WholeOffsets[0]
+		end := start + res.FrameBits
+		fmt.Printf("\nframe on the wire: cycles %d..%d; deadline: %d\n", start, end, cfg.DeadlineCycle)
+		if end > cfg.DeadlineCycle {
+			fmt.Println("verdict: the transmitter put the frame on the bus too late")
+		} else {
+			fmt.Println("verdict: the frame met its deadline; the receiver is responsible")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command socsim runs the experiment-5.2.2 system-on-chip simulator
+// standalone: a LEON3-style core executing the sensor-loop image
+// against a configurable SRAM, with the timeprints agg-log hardware
+// attached to the AHB address signals. It prints the timeprint log
+// and, optionally, dumps the traced signal as a VCD waveform and the
+// log in the binary wire format.
+//
+//	socsim -cycles 20480 -m 1024 -b 24 -ambient 45
+//	socsim -ideal -waits 2          # the misconfigured simulation twin
+//	socsim -vcd out.vcd -log out.tpr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	timeprints "repro"
+	"repro/internal/encoding"
+	"repro/internal/soc"
+	"repro/internal/sram"
+	"repro/internal/vcd"
+)
+
+func main() {
+	m := flag.Int("m", 1024, "trace-cycle length")
+	b := flag.Int("b", 24, "timestamp width")
+	cycles := flag.Int64("cycles", 0, "clock cycles to run (default 20 trace-cycles)")
+	ambient := flag.Float64("ambient", 25, "ambient temperature (C)")
+	ideal := flag.Bool("ideal", false, "idealized memory: no refresh, no thermal drift")
+	waits := flag.Int("waits", 1, "memory wait states")
+	burst := flag.Int("burst", 100, "boot-burst words")
+	period := flag.Uint("period", 100, "sensor-loop timer period")
+	vcdOut := flag.String("vcd", "", "dump the traced signal as VCD")
+	logOut := flag.String("log", "", "write the timeprint log in wire format")
+	flag.Parse()
+
+	enc, err := encoding.Incremental(*m, *b, 4)
+	if err != nil {
+		fail(err)
+	}
+	var mem sram.Config
+	if *ideal {
+		mem = sram.Config{WaitStates: *waits, CoolingPerCycle: 1}
+	} else {
+		mem = sram.DefaultConfig(*ambient)
+		mem.WaitStates = *waits
+		mem.BaseIntervalCycles = 1200
+		mem.MinIntervalCycles = 250
+		mem.IntervalSlopeCyclesPerC = 16
+		mem.RefreshCycles = 13
+		mem.HeatPerAccessC = 0.25
+	}
+	sys, err := soc.Build(soc.Config{
+		Program: soc.SensorProgram(*burst, uint16(*period)),
+		Mem:     mem,
+		Enc:     enc,
+		ClockHz: 50e6,
+	})
+	if err != nil {
+		fail(err)
+	}
+	n := *cycles
+	if n <= 0 {
+		n = 20 * int64(*m)
+	}
+	n = n / int64(*m) * int64(*m)
+	sys.Run(n)
+
+	entries := sys.AggLog.Entries()
+	fmt.Printf("ran %d cycles (%d trace-cycles), core retired %d instructions\n",
+		n, len(entries), sys.Core.Retired())
+	st := sys.Mem.Stats()
+	fmt.Printf("memory: %d accesses, %d refreshes, %d collisions, die %.1f C\n",
+		st.Accesses, st.Refreshes, st.Collisions, sys.Mem.TemperatureC())
+	for i, e := range entries {
+		fmt.Printf("trace-cycle %3d: TP=%s k=%d\n", i, e.TP, e.K)
+	}
+
+	if *vcdOut != "" {
+		f, err := os.Create(*vcdOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := vcd.WriteSignal(f, "soc.ahb.addr_change", sys.AddrRec.Changes(), n); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote VCD waveform to %s\n", *vcdOut)
+	}
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := timeprints.WriteLog(f, *m, *b, entries); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d log entries to %s\n", len(entries), *logOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "socsim:", err)
+	os.Exit(1)
+}

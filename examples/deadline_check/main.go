@@ -1,0 +1,120 @@
+// Command deadline_check demonstrates property-based verdicts over
+// timeprint logs (Sections 3.3 and 5.1.3) on a synthetic watchdog
+// scenario: a component must kick a watchdog signal at least 3 times
+// before its deadline in every trace-cycle. Instead of reconstructing
+// exact signals, the tool asks for each logged trace-cycle:
+//
+//   - does EVERY signal consistent with the log satisfy Dk?  (the
+//     verdict is certain — safe)
+//   - does NO signal consistent with the log satisfy Dk?     (certain
+//     violation)
+//   - otherwise the log alone is inconclusive and reconstruction
+//     candidates are listed.
+//
+// This is the "we only want to know whether there is a trace that
+// satisfies or breaks a certain temporal property" usage of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	timeprints "repro"
+)
+
+const (
+	m        = 64
+	b        = 13
+	deadline = 32
+	minKicks = 3
+)
+
+func main() {
+	enc, err := timeprints.NewEncoding(m, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prop := timeprints.Dk{D: deadline, K: minKicks}
+	fmt.Printf("Watchdog property: at least %d changes before cycle %d (m=%d, b=%d)\n\n",
+		minKicks, deadline, m, b)
+
+	// Generate trace-cycles: healthy ones kick early; one degrades.
+	rng := rand.New(rand.NewSource(7))
+	var signals []timeprints.Signal
+	for tc := 0; tc < 6; tc++ {
+		var changes []int
+		kicks := minKicks + rng.Intn(2)
+		if tc == 4 {
+			kicks = 1 // the degraded trace-cycle
+		}
+		for i := 0; i < kicks; i++ {
+			changes = append(changes, rng.Intn(deadline-2)+1)
+		}
+		// Some activity after the deadline too.
+		for i := 0; i < 2; i++ {
+			changes = append(changes, deadline+rng.Intn(m-deadline))
+		}
+		signals = append(signals, timeprints.SignalFromChanges(m, dedupe(changes)...))
+	}
+
+	for tc, s := range signals {
+		entry := timeprints.Log(enc, s)
+
+		// Certain violation: no consistent signal satisfies Dk.
+		satisfies, err := timeprints.NewReconstructor(enc, entry,
+			[]timeprints.Constraint{prop}, timeprints.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		someSatisfy := satisfies.Check() == timeprints.Sat
+
+		// Certain satisfaction: no consistent signal has fewer than
+		// minKicks changes before the deadline. Encode the negation:
+		// at most minKicks-1 changes in the window. Since Dk is an
+		// at-least constraint, its complement is expressible by
+		// windowed cardinality via reconstruction candidates; here we
+		// enumerate and evaluate, which doubles as a demonstration of
+		// candidate listing.
+		recAll, err := timeprints.NewReconstructor(enc, entry, nil, timeprints.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands, complete := recAll.Enumerate(0)
+		if !complete {
+			log.Fatal("enumeration incomplete")
+		}
+		allSatisfy := true
+		for _, c := range cands {
+			if !prop.Holds(c) {
+				allSatisfy = false
+				break
+			}
+		}
+
+		verdict := "INCONCLUSIVE"
+		switch {
+		case allSatisfy:
+			verdict = "SAFE (every consistent signal kicked in time)"
+		case !someSatisfy:
+			verdict = "VIOLATION (no consistent signal kicked in time)"
+		}
+		fmt.Printf("trace-cycle %d: k=%d, %3d candidate signals -> %s\n",
+			tc, entry.K, len(cands), verdict)
+		if !allSatisfy && someSatisfy {
+			fmt.Printf("  log is ambiguous; ground truth satisfies property: %v\n", prop.Holds(s))
+		}
+	}
+}
+
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

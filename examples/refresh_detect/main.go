@@ -1,0 +1,78 @@
+// Command refresh_detect runs the paper's Section 5.2.2 experiment: a
+// LEON3-style core executes a sensor-loop image against an SRAM on an
+// AHB bus, with the timeprints agg-log hardware attached to the bus's
+// address signals (m = 1024). The same image runs three times:
+//
+//  1. "hardware"  — true wait states, temperature-compensated refresh,
+//     activity-driven self-heating;
+//  2. "buggy sim" — the RTL-simulation twin with the Gaisler library's
+//     wrong wait-state configuration: caught by k mismatches;
+//  3. "fixed sim" — wait states corrected: k now matches everywhere,
+//     but timeprints start to differ at the first refresh collision.
+//
+// Each mismatching trace-cycle is then diagnosed by reconstructing the
+// hardware's signal under the property "the simulation trace with one
+// change instance delayed by one clock-cycle", which pinpoints the
+// exact delayed access. A final ambient-temperature sweep shows the
+// mismatch onset moving earlier as the die gets hotter — the
+// temperature-compensated refresh behaviour the data-sheet leaves
+// unspecified.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultRefreshConfig(45)
+	fmt.Printf("SoC run: m=%d, b=%d, %d trace-cycles, ambient %.0f C\n",
+		cfg.M, cfg.B, cfg.TraceCycles, cfg.AmbientC)
+
+	res, err := experiments.RunRefresh(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nStep 1 — wait-state configuration bug:\n")
+	fmt.Printf("  hardware vs misconfigured simulation: %d trace-cycles with differing k\n",
+		res.KMismatchesBuggy)
+	fmt.Printf("  hardware vs fixed simulation:         %d trace-cycles with differing k\n",
+		res.KMismatchesFixed)
+
+	fmt.Printf("\nStep 2 — refresh effects (equal k, different timeprints):\n")
+	fmt.Printf("  ground truth: %d refresh collisions, final die temperature %.1f C\n",
+		res.Collisions, res.FinalTempC)
+	fmt.Printf("  timeprint mismatches in trace-cycles %v (first: %d)\n",
+		res.TPMismatches, res.FirstMismatch)
+
+	fmt.Printf("\nStep 3 — localization via the one-cycle-delay property:\n")
+	for _, l := range res.Localizations {
+		switch {
+		case l.Candidates == 1 && len(l.DelayedChangeCycles) == 1:
+			fmt.Printf("  trace-cycle %3d: change at clock-cycle %4d was delayed by 1 cycle (verified: %v)\n",
+				l.TraceCycle, l.DelayedChangeCycles[0], l.Verified)
+		case l.Candidates == 1:
+			fmt.Printf("  trace-cycle %3d: changes at clock-cycles %v were each delayed by 1 cycle (verified: %v)\n",
+				l.TraceCycle, l.DelayedChangeCycles, l.Verified)
+		case l.Candidates == 0:
+			fmt.Printf("  trace-cycle %3d: no one- or two-delay explanation (heavier collision pattern)\n", l.TraceCycle)
+		default:
+			fmt.Printf("  trace-cycle %3d: %d delay candidates\n", l.TraceCycle, l.Candidates)
+		}
+	}
+
+	fmt.Printf("\nStep 4 — temperature sweep (mismatch onset per ambient):\n")
+	sweep, err := experiments.RefreshSweep(cfg, []float64{25, 45, 65, 85})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range sweep {
+		fmt.Printf("  ambient %2.0f C: first steady-state mismatch at trace-cycle %2d  (collisions %2d, final temp %.1f C)\n",
+			r.Config.AmbientC, r.FirstSteadyMismatch, r.Collisions, r.FinalTempC)
+	}
+	fmt.Println("\nThe one-cycle delay happens earlier when the die is hotter — the")
+	fmt.Println("temperature-compensated refresh, undefined at design time, made visible.")
+}

@@ -1,0 +1,206 @@
+// Package ahb models an AMBA AHB-lite bus: a single master, a wire
+// bundle carrying the address/control/data phases, an address decoder
+// for multiple slaves, and a transfer recorder. Experiment 5.2.2
+// attaches the timeprints agg-log hardware to this bus's address
+// signals, so the bus is the boundary the traced signal lives on.
+//
+// The protocol is the registered-signal subset of AHB-lite sufficient
+// for the experiment: the master drives HADDR/HTRANS/HWRITE/HWDATA in
+// the address phase and holds them until the selected slave raises
+// HREADY; read data appears on HRDATA together with HREADY.
+package ahb
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+)
+
+// HTRANS codes (subset).
+const (
+	TransIdle   = 0
+	TransNonSeq = 2
+)
+
+// Channel is the AHB-lite wire bundle between one master and the
+// interconnect.
+type Channel struct {
+	HADDR  *rtl.Wire // 32-bit address
+	HTRANS *rtl.Wire // 2-bit transfer type
+	HWRITE *rtl.Wire // 1-bit direction
+	HWDATA *rtl.Wire // 32-bit write data
+	HRDATA *rtl.Wire // 32-bit read data
+	HREADY *rtl.Wire // 1-bit slave ready
+}
+
+// NewChannel allocates the bundle on the simulator. HREADY resets high
+// (bus idle/ready), as the AHB specification requires.
+func NewChannel(sim *rtl.Simulator, prefix string) *Channel {
+	c := &Channel{
+		HADDR:  sim.Wire(prefix+".HADDR", 32),
+		HTRANS: sim.Wire(prefix+".HTRANS", 2),
+		HWRITE: sim.Wire(prefix+".HWRITE", 1),
+		HWDATA: sim.Wire(prefix+".HWDATA", 32),
+		HRDATA: sim.Wire(prefix+".HRDATA", 32),
+		HREADY: sim.Wire(prefix+".HREADY", 1),
+	}
+	c.HREADY.Reset(1)
+	return c
+}
+
+// Slave is the interface a bus slave implements toward the decoder.
+// The decoder calls Request once per accepted address phase and then
+// polls Poll each cycle until done=true, upon which data carries read
+// results.
+type Slave interface {
+	// Request starts an access. write data is the value to store.
+	Request(cycle int64, addr uint32, write bool, wdata uint32)
+	// Poll advances the access; done=true completes it this cycle.
+	Poll(cycle int64) (rdata uint32, done bool)
+}
+
+// Region maps an address range [Base, Base+Size) to a slave.
+type Region struct {
+	Base, Size uint32
+	Slave      Slave
+	Name       string
+}
+
+// Decoder is the interconnect: it watches the master channel, selects
+// the slave by address, and drives HREADY/HRDATA. Accesses to unmapped
+// addresses complete immediately with zero data (AHB default slave
+// semantics, minus the error response).
+type Decoder struct {
+	ch      *Channel
+	regions []Region
+
+	busy      bool
+	cur       Slave
+	read      bool
+	awaitIdle bool
+}
+
+// NewDecoder attaches a decoder to the channel.
+func NewDecoder(ch *Channel, regions []Region) (*Decoder, error) {
+	for i, r := range regions {
+		if r.Slave == nil {
+			return nil, fmt.Errorf("ahb: region %d (%s) has no slave", i, r.Name)
+		}
+		for j := 0; j < i; j++ {
+			o := regions[j]
+			if r.Base < o.Base+o.Size && o.Base < r.Base+r.Size {
+				return nil, fmt.Errorf("ahb: regions %s and %s overlap", o.Name, r.Name)
+			}
+		}
+	}
+	return &Decoder{ch: ch, regions: regions}, nil
+}
+
+// lookup finds the slave for an address.
+func (d *Decoder) lookup(addr uint32) Slave {
+	for _, r := range d.regions {
+		if addr >= r.Base && addr-r.Base < r.Size {
+			return r.Slave
+		}
+	}
+	return nil
+}
+
+// Eval implements rtl.Component.
+func (d *Decoder) Eval(cycle int64) {
+	if d.busy {
+		rdata, done := d.cur.Poll(cycle)
+		if done {
+			if d.read {
+				d.ch.HRDATA.Set(uint64(rdata))
+			}
+			d.ch.HREADY.Set(1)
+			d.busy = false
+			// Every wire hop is registered, so the master still holds
+			// HTRANS=NONSEQ when HREADY rises; require an IDLE cycle
+			// before accepting the next transfer so the held request is
+			// not double-latched.
+			d.awaitIdle = true
+		} else {
+			d.ch.HREADY.Set(0)
+		}
+		return
+	}
+	if d.awaitIdle {
+		if d.ch.HTRANS.Get() == TransIdle {
+			d.awaitIdle = false
+		}
+		d.ch.HREADY.Set(1)
+		return
+	}
+	if d.ch.HTRANS.Get() == TransNonSeq && d.ch.HREADY.GetBool() {
+		addr := uint32(d.ch.HADDR.Get())
+		write := d.ch.HWRITE.GetBool()
+		s := d.lookup(addr)
+		if s == nil {
+			// Unmapped: complete next cycle with zeros.
+			d.ch.HRDATA.Set(0)
+			d.ch.HREADY.Set(1)
+			d.awaitIdle = true
+			return
+		}
+		s.Request(cycle, addr, write, uint32(d.ch.HWDATA.Get()))
+		d.cur = s
+		d.read = !write
+		d.busy = true
+		d.ch.HREADY.Set(0)
+	} else {
+		d.ch.HREADY.Set(1)
+	}
+}
+
+// Transfer is one completed bus access, for test introspection.
+type Transfer struct {
+	Cycle int64 // cycle the address phase was accepted
+	Done  int64 // cycle HREADY returned high
+	Addr  uint32
+	Write bool
+	Data  uint32
+}
+
+// Recorder observes a channel and records completed transfers.
+type Recorder struct {
+	ch        *Channel
+	inFlight  bool
+	t         Transfer
+	transfers []Transfer
+	prevReady bool
+}
+
+// NewRecorder watches the channel.
+func NewRecorder(ch *Channel) *Recorder { return &Recorder{ch: ch, prevReady: true} }
+
+// Observe implements rtl.Probe.
+func (r *Recorder) Observe(cycle int64) {
+	ready := r.ch.HREADY.GetBool()
+	if r.inFlight && ready {
+		r.t.Done = cycle
+		if !r.t.Write {
+			r.t.Data = uint32(r.ch.HRDATA.Get())
+		}
+		r.transfers = append(r.transfers, r.t)
+		r.inFlight = false
+	}
+	if !r.inFlight && r.ch.HTRANS.Get() == TransNonSeq && r.prevReady {
+		r.t = Transfer{
+			Cycle: cycle,
+			Addr:  uint32(r.ch.HADDR.Get()),
+			Write: r.ch.HWRITE.GetBool(),
+			Data:  uint32(r.ch.HWDATA.Get()),
+		}
+		r.inFlight = true
+	}
+	r.prevReady = ready
+}
+
+// Transfers returns the completed transfers.
+func (r *Recorder) Transfers() []Transfer {
+	out := make([]Transfer, len(r.transfers))
+	copy(out, r.transfers)
+	return out
+}

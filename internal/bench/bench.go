@@ -1,0 +1,379 @@
+// Package bench regenerates the paper's tables and figures. Both the
+// tprbench command and the repository's testing.B benchmarks drive
+// these runners, so printed tables and benchmark numbers come from one
+// code path.
+//
+// Table 1: reconstruction time against trace-cycle length m and change
+// count k, with and without the temporal properties P2 and Dk, plus
+// the logging rate R. Table 2: incremental vs random-constrained
+// timestamp encodings. Figure 4: the didactic candidate-count
+// reduction.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/properties"
+	"repro/internal/reconstruct"
+	"repro/internal/sat"
+)
+
+// Paper parameters: Table 1's timestamp widths per m (incremental
+// LI-4 encoding; the paper's Tables 1/2 report the same widths).
+var PaperB = map[int]int{64: 13, 128: 16, 512: 22, 1024: 24}
+
+// encCache memoizes generated encodings: generation is deterministic
+// and, at m = 1024, takes long enough to distort benchmark loops.
+var (
+	encCacheMu sync.Mutex
+	encCache   = map[string]*encoding.Encoding{}
+)
+
+// CachedEncoding returns a memoized deterministic encoding.
+func CachedEncoding(scheme string, m, b, d int, seed int64) (*encoding.Encoding, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%d", scheme, m, b, d, seed)
+	encCacheMu.Lock()
+	defer encCacheMu.Unlock()
+	if e, ok := encCache[key]; ok {
+		return e, nil
+	}
+	var e *encoding.Encoding
+	var err error
+	switch scheme {
+	case "incremental":
+		e, err = encoding.Incremental(m, b, d)
+	case "random":
+		e, err = encoding.RandomConstrained(m, b, d, seed, 0)
+	default:
+		return nil, fmt.Errorf("bench: unknown scheme %q", scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	encCache[key] = e
+	return e, nil
+}
+
+// Dk property parameters used throughout Section 5.1.3.
+const (
+	DkDeadline = 32
+	DkCount    = 3
+)
+
+// PlantedSignal returns a deterministic signal with exactly k changes
+// that satisfies both P2 (an adjacent change pair exists) and Dk (at
+// least DkCount changes before DkDeadline), so that all property-
+// constrained queries remain satisfiable, as in the paper's setup.
+func PlantedSignal(m, k int) core.Signal {
+	if k < 0 || k > m {
+		panic(fmt.Sprintf("bench: k=%d out of range for m=%d", k, m))
+	}
+	changes := make([]int, 0, k)
+	// Adjacent pair early (P2), third change before the deadline (Dk).
+	seed := []int{5, 6, 20}
+	for _, c := range seed {
+		if len(changes) < k && c < m {
+			changes = append(changes, c)
+		}
+	}
+	// Spread the rest deterministically over the remaining cycles.
+	next := 40
+	step := (m - 40) / (k + 1)
+	if step < 1 {
+		step = 1
+	}
+	used := map[int]bool{5: true, 6: true, 20: true}
+	for len(changes) < k {
+		for used[next%m] {
+			next++
+		}
+		changes = append(changes, next%m)
+		used[next%m] = true
+		next += step
+	}
+	sort.Ints(changes)
+	return core.SignalFromChanges(m, changes...)
+}
+
+// Query names the Table 1 columns.
+type Query struct {
+	Name  string
+	Props []reconstruct.Constraint
+	// Limit is the number of solutions to find (1 or 10).
+	Limit int
+}
+
+// Queries returns the paper's eight timed columns.
+func Queries() []Query {
+	p2 := properties.P2{}
+	dk := properties.Dk{D: DkDeadline, K: DkCount}
+	return []Query{
+		{Name: "c-SAT.1", Limit: 1},
+		{Name: "c-SAT.10", Limit: 10},
+		{Name: "c+P2.1", Props: []reconstruct.Constraint{p2}, Limit: 1},
+		{Name: "c+P2.10", Props: []reconstruct.Constraint{p2}, Limit: 10},
+		{Name: "c+Dk.1", Props: []reconstruct.Constraint{dk}, Limit: 1},
+		{Name: "c+Dk.10", Props: []reconstruct.Constraint{dk}, Limit: 10},
+		{Name: "c+Dk+P2.1", Props: []reconstruct.Constraint{dk, p2}, Limit: 1},
+		{Name: "c+Dk+P2.10", Props: []reconstruct.Constraint{dk, p2}, Limit: 10},
+	}
+}
+
+// Cell is one timed query result.
+type Cell struct {
+	Duration  time.Duration
+	Status    sat.Status // Sat when candidates were found, Unsat if none
+	Solutions int
+	TimedOut  bool
+}
+
+func (c Cell) String() string {
+	if c.TimedOut {
+		return "timeout"
+	}
+	return fmtDuration(c.Duration)
+}
+
+// fmtDuration renders like the paper's "0m0.085s".
+func fmtDuration(d time.Duration) string {
+	mins := int(d.Minutes())
+	secs := d.Seconds() - float64(mins)*60
+	return fmt.Sprintf("%dm%.3fs", mins, secs)
+}
+
+// Row is one (m, k) line of Table 1.
+type Row struct {
+	M, K, B int
+	Cells   map[string]Cell
+	// RateHz is the R column: logging bit-rate for a 100 MHz signal.
+	RateHz float64
+}
+
+// RunQuery times one reconstruction query against a log entry.
+func RunQuery(enc *encoding.Encoding, entry core.LogEntry, q Query, maxConflicts int64) Cell {
+	start := time.Now()
+	rec, err := reconstruct.New(enc, entry, q.Props, reconstruct.Options{MaxConflicts: maxConflicts})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	sigs, exhausted := rec.Enumerate(q.Limit)
+	cell := Cell{Duration: time.Since(start), Solutions: len(sigs)}
+	switch {
+	case len(sigs) > 0:
+		cell.Status = sat.Sat
+	case exhausted:
+		cell.Status = sat.Unsat
+	default:
+		cell.TimedOut = true
+		cell.Status = sat.Unknown
+	}
+	return cell
+}
+
+// Table1Row runs all eight queries for one (m, k) with the paper's b.
+func Table1Row(m, k int, maxConflicts int64) Row {
+	b, ok := PaperB[m]
+	if !ok {
+		panic(fmt.Sprintf("bench: no paper b for m=%d", m))
+	}
+	enc, err := CachedEncoding("incremental", m, b, 4, 0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	entry := core.Log(enc, PlantedSignal(m, k))
+	row := Row{M: m, K: k, B: b, Cells: map[string]Cell{}, RateHz: core.LogRate(b, m, 100e6)}
+	for _, q := range Queries() {
+		row.Cells[q.Name] = RunQuery(enc, entry, q, maxConflicts)
+	}
+	return row
+}
+
+// Table1Cases lists the paper's (m, k) grid.
+func Table1Cases(quick bool) [][2]int {
+	cases := [][2]int{
+		{64, 3}, {64, 4}, {64, 8}, {64, 32},
+		{128, 3}, {128, 4}, {128, 8}, {128, 16},
+	}
+	if !quick {
+		cases = append(cases,
+			[2]int{512, 3}, [2]int{512, 4}, [2]int{512, 8},
+			[2]int{1024, 3}, [2]int{1024, 4}, [2]int{1024, 8},
+		)
+	}
+	return cases
+}
+
+// Table1 runs the grid.
+func Table1(quick bool, maxConflicts int64, progress func(string)) []Row {
+	var rows []Row
+	for _, c := range Table1Cases(quick) {
+		if progress != nil {
+			progress(fmt.Sprintf("table 1: m=%d k=%d", c[0], c[1]))
+		}
+		rows = append(rows, Table1Row(c[0], c[1], maxConflicts))
+	}
+	return rows
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Row) string {
+	var sb strings.Builder
+	cols := []string{"c-SAT.1", "c-SAT.10", "c+P2.1", "c+P2.10", "c+Dk.1", "c+Dk.10", "c+Dk+P2.1", "c+Dk+P2.10"}
+	fmt.Fprintf(&sb, "%-8s %-3s", "m/k", "b")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %12s", c)
+	}
+	fmt.Fprintf(&sb, " %12s\n", "R")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-3d", fmt.Sprintf("%d/%d", r.M, r.K), r.B)
+		for _, c := range cols {
+			fmt.Fprintf(&sb, " %12s", r.Cells[c])
+		}
+		fmt.Fprintf(&sb, " %9.2fMHz\n", r.RateHz/1e6)
+	}
+	return sb.String()
+}
+
+// Table2Scheme is one encoding scheme column group of Table 2.
+type Table2Scheme struct {
+	Scheme string
+	B      int
+	Cells  map[string]Cell // c-SAT, c+P2, c+Dk, c+Dk+P2 (first solution)
+}
+
+// Table2Row compares the two generation schemes for one (m, k).
+type Table2Row struct {
+	M, K        int
+	Incremental Table2Scheme
+	Random      Table2Scheme
+}
+
+// RandomB holds the widths the random-constrained scheme needs (the
+// paper reports b = 31 for its random-constrained encodings).
+var RandomB = map[int]int{64: 20, 128: 24, 512: 31, 1024: 33}
+
+// Table2Cases lists the paper's grid for Table 2.
+func Table2Cases(quick bool) [][2]int {
+	if quick {
+		return [][2]int{{64, 3}, {64, 4}, {128, 3}}
+	}
+	return [][2]int{{512, 3}, {512, 4}, {1024, 3}}
+}
+
+// Table2 runs the scheme comparison.
+func Table2(quick bool, maxConflicts int64, progress func(string)) []Table2Row {
+	queries := []Query{}
+	for _, q := range Queries() {
+		if q.Limit == 1 {
+			queries = append(queries, q)
+		}
+	}
+	var rows []Table2Row
+	for _, c := range Table2Cases(quick) {
+		m, k := c[0], c[1]
+		if progress != nil {
+			progress(fmt.Sprintf("table 2: m=%d k=%d", m, k))
+		}
+		row := Table2Row{M: m, K: k}
+		sig := PlantedSignal(m, k)
+
+		encInc, err := CachedEncoding("incremental", m, PaperB[m], 4, 0)
+		if err != nil {
+			panic(err)
+		}
+		row.Incremental = Table2Scheme{Scheme: "incremental", B: encInc.B(), Cells: map[string]Cell{}}
+		entry := core.Log(encInc, sig)
+		for _, q := range queries {
+			row.Incremental.Cells[q.Name] = RunQuery(encInc, entry, q, maxConflicts)
+		}
+
+		encRnd, err := CachedEncoding("random", m, RandomB[m], 4, 1)
+		if err != nil {
+			panic(err)
+		}
+		row.Random = Table2Scheme{Scheme: "random-constrained", B: encRnd.B(), Cells: map[string]Cell{}}
+		entry = core.Log(encRnd, sig)
+		for _, q := range queries {
+			row.Random.Cells[q.Name] = RunQuery(encRnd, entry, q, maxConflicts)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable2 renders the scheme comparison.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	cols := []string{"c-SAT.1", "c+P2.1", "c+Dk.1", "c+Dk+P2.1"}
+	for _, scheme := range []string{"random-constrained", "incremental"} {
+		fmt.Fprintf(&sb, "TS encoding: %s\n", scheme)
+		fmt.Fprintf(&sb, "%-8s %-3s", "m/k", "b")
+		for _, c := range cols {
+			fmt.Fprintf(&sb, " %12s", strings.TrimSuffix(c, ".1"))
+		}
+		sb.WriteString("\n")
+		for _, r := range rows {
+			sc := r.Random
+			if scheme == "incremental" {
+				sc = r.Incremental
+			}
+			fmt.Fprintf(&sb, "%-8s %-3d", fmt.Sprintf("%d/%d", r.M, r.K), sc.B)
+			for _, c := range cols {
+				fmt.Fprintf(&sb, " %12s", sc.Cells[c])
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Figure4Result is the didactic candidate-count staircase.
+type Figure4Result struct {
+	AnyK, WithK, WithProperty int
+}
+
+// Figure4 reruns the didactic example with the paper's timestamps.
+func Figure4() (Figure4Result, error) {
+	raw := []string{
+		"00010100", "00111010", "00001111", "01000100",
+		"00000010", "10101110", "01100000", "11110101",
+		"00010111", "11100111", "10100000", "10101000",
+		"10011110", "10001111", "01110000", "01101100",
+	}
+	vecs, err := parseAll(raw)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	enc, err := encoding.FromTimestamps(vecs, "figure4")
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	actual := core.SignalFromChanges(16, 3, 4, 9, 10)
+	entry := core.Log(enc, actual)
+
+	var res Figure4Result
+	for k := 0; k <= 16; k++ {
+		n, _, err := reconstruct.CountCandidates(enc, core.LogEntry{TP: entry.TP, K: k}, 0)
+		if err != nil {
+			return res, err
+		}
+		res.AnyK += n
+		if k == entry.K {
+			res.WithK = n
+		}
+	}
+	rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{properties.PairedChanges{}}, reconstruct.Options{})
+	if err != nil {
+		return res, err
+	}
+	sigs, _ := rec.Enumerate(0)
+	res.WithProperty = len(sigs)
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/properties"
+)
+
+func TestPlantedSignalInvariants(t *testing.T) {
+	for _, m := range []int{64, 128, 512, 1024} {
+		for _, k := range []int{3, 4, 8, 16, 32} {
+			if k > m {
+				continue
+			}
+			s := PlantedSignal(m, k)
+			if s.K() != k {
+				t.Fatalf("m=%d k=%d: planted %d changes", m, k, s.K())
+			}
+			if !(properties.P2{}).Holds(s) {
+				t.Errorf("m=%d k=%d: P2 violated", m, k)
+			}
+			if !(properties.Dk{D: DkDeadline, K: DkCount}).Holds(s) {
+				t.Errorf("m=%d k=%d: Dk violated", m, k)
+			}
+			// Deterministic.
+			if !s.Equal(PlantedSignal(m, k)) {
+				t.Errorf("m=%d k=%d: not deterministic", m, k)
+			}
+		}
+	}
+}
+
+func TestPlantedSignalRejectsBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PlantedSignal(8, 9)
+}
+
+func TestCachedEncodingMemoizes(t *testing.T) {
+	a, err := CachedEncoding("incremental", 32, 11, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedEncoding("incremental", 32, 11, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss for identical key")
+	}
+	if _, err := CachedEncoding("nonsense", 32, 11, 4, 0); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	c, err := CachedEncoding("random", 32, 16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different keys share an entry")
+	}
+}
+
+func TestQueriesCoverPaperColumns(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 8 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	names := map[string]bool{}
+	for _, q := range qs {
+		names[q.Name] = true
+		if q.Limit != 1 && q.Limit != 10 {
+			t.Errorf("query %s limit %d", q.Name, q.Limit)
+		}
+	}
+	for _, want := range []string{"c-SAT.1", "c-SAT.10", "c+P2.1", "c+Dk.10", "c+Dk+P2.1"} {
+		if !names[want] {
+			t.Errorf("missing column %s", want)
+		}
+	}
+}
+
+func TestTable1RowSmall(t *testing.T) {
+	row := Table1Row(64, 3, 0)
+	if row.B != 13 {
+		t.Errorf("b=%d", row.B)
+	}
+	for name, cell := range row.Cells {
+		if cell.TimedOut {
+			t.Errorf("%s timed out without budget", name)
+		}
+		if cell.Solutions == 0 {
+			t.Errorf("%s found no solutions for a satisfiable instance", name)
+		}
+	}
+	// The R column: (13 + 7) / 64 * 100 MHz.
+	want := float64(13+7) / 64 * 100e6
+	if row.RateHz != want {
+		t.Errorf("rate %f want %f", row.RateHz, want)
+	}
+}
+
+func TestFormatTables(t *testing.T) {
+	rows := []Row{Table1Row(64, 3, 0)}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "64/3") || !strings.Contains(out, "c-SAT.1") {
+		t.Errorf("table 1 format:\n%s", out)
+	}
+	t2 := Table2(true, 0, nil)
+	out2 := FormatTable2(t2)
+	if !strings.Contains(out2, "incremental") || !strings.Contains(out2, "random-constrained") {
+		t.Errorf("table 2 format:\n%s", out2)
+	}
+}
+
+func TestFigure4Staircase(t *testing.T) {
+	res, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnyK != 256 || res.WithK != 8 || res.WithProperty != 1 {
+		t.Fatalf("staircase %d/%d/%d, want 256/8/1", res.AnyK, res.WithK, res.WithProperty)
+	}
+}
+
+func TestCellTimeoutRendering(t *testing.T) {
+	// A hopeless budget must surface as "timeout", not a bogus time.
+	enc, err := CachedEncoding("incremental", 128, 16, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := core.Log(enc, PlantedSignal(128, 4))
+	cell := RunQuery(enc, entry, Query{Name: "c-SAT.1", Limit: 1}, 1)
+	if !cell.TimedOut || cell.String() != "timeout" {
+		t.Errorf("cell %+v rendered %q", cell, cell.String())
+	}
+}

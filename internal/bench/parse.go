@@ -1,0 +1,16 @@
+package bench
+
+import "repro/internal/bitvec"
+
+// parseAll parses MSB-first binary strings into vectors.
+func parseAll(raw []string) ([]bitvec.Vector, error) {
+	out := make([]bitvec.Vector, len(raw))
+	for i, s := range raw {
+		v, err := bitvec.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Message is a periodic application-level CAN message, mirroring a
+// CANoe scenario row.
+type Message struct {
+	Name  string
+	Frame Frame
+	// PeriodBits is the transmission period in bit times. (At 5 Mbps a
+	// bit time is 200 ns, so a 10 ms period is 50 000 bit times.)
+	PeriodBits int64
+	// OffsetBits shifts the first release.
+	OffsetBits int64
+}
+
+// Transmission is one frame instance as it appeared on the wire.
+type Transmission struct {
+	Msg      *Message
+	Release  int64 // bit time the message became ready (incl. injected delay)
+	StartBit int64 // bit time SOF appeared on the bus
+	Bits     []bool
+}
+
+// EndBit returns the first bit time after the transmission (including
+// EOF and intermission).
+func (t Transmission) EndBit() int64 { return t.StartBit + int64(len(t.Bits)) }
+
+// Bus is a single CAN bus. The idle level is recessive (1). Pending
+// messages arbitrate by identifier: lower ID wins, FIFO within one ID.
+type Bus struct {
+	// BitRate in bits/second; used only to convert to/from seconds.
+	BitRate float64
+	// Stuffing enables ISO 11898 bit stuffing.
+	Stuffing bool
+}
+
+// Seconds converts a bit time to seconds.
+func (b Bus) Seconds(bit int64) float64 { return float64(bit) / b.BitRate }
+
+// BitTime converts seconds to a bit time (truncating).
+func (b Bus) BitTime(sec float64) int64 { return int64(sec * b.BitRate) }
+
+// DelayKey identifies one instance of a periodic message for delay
+// injection: the message name and its occurrence index (0-based).
+type DelayKey struct {
+	Name     string
+	Instance int
+}
+
+// Schedule serializes the periodic messages over horizonBits bit times
+// and returns the transmissions in wire order. delays adds extra
+// release latency (in bit times) to specific message instances — the
+// experiment's manually applied delays.
+func (b Bus) Schedule(msgs []Message, horizonBits int64, delays map[DelayKey]int64) ([]Transmission, error) {
+	type pending struct {
+		msg     *Message
+		release int64
+		seq     int64 // release order for FIFO tie-breaking
+	}
+	var queue []pending
+	var seq int64
+	for mi := range msgs {
+		m := &msgs[mi]
+		if m.PeriodBits <= 0 {
+			return nil, fmt.Errorf("can: message %q has period %d", m.Name, m.PeriodBits)
+		}
+		if err := m.Frame.Validate(); err != nil {
+			return nil, fmt.Errorf("can: message %q: %w", m.Name, err)
+		}
+		inst := 0
+		for t := m.OffsetBits; t < horizonBits; t += m.PeriodBits {
+			rel := t
+			if d, ok := delays[DelayKey{Name: m.Name, Instance: inst}]; ok {
+				rel += d
+			}
+			queue = append(queue, pending{msg: m, release: rel, seq: seq})
+			seq++
+			inst++
+		}
+	}
+	// Deterministic ordering of the pending pool.
+	sort.Slice(queue, func(i, j int) bool {
+		if queue[i].release != queue[j].release {
+			return queue[i].release < queue[j].release
+		}
+		if queue[i].msg.Frame.ID != queue[j].msg.Frame.ID {
+			return queue[i].msg.Frame.ID < queue[j].msg.Frame.ID
+		}
+		return queue[i].seq < queue[j].seq
+	})
+
+	var out []Transmission
+	var busFree int64 // first bit time the bus is idle
+	for len(queue) > 0 {
+		// Candidates: released at or before the bus-free instant; if
+		// none, the bus idles until the earliest release.
+		at := busFree
+		if queue[0].release > at {
+			at = queue[0].release
+		}
+		// Collect all released by `at` and pick the arbitration winner.
+		win := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].release > at {
+				break
+			}
+			wi, ci := queue[win], queue[i]
+			if ci.msg.Frame.ID < wi.msg.Frame.ID ||
+				(ci.msg.Frame.ID == wi.msg.Frame.ID && ci.seq < wi.seq) {
+				win = i
+			}
+		}
+		p := queue[win]
+		queue = append(queue[:win], queue[win+1:]...)
+
+		bits, err := p.msg.Frame.Bits(b.Stuffing)
+		if err != nil {
+			return nil, err
+		}
+		start := p.release
+		if start < busFree {
+			start = busFree
+		}
+		out = append(out, Transmission{Msg: p.msg, Release: p.release, StartBit: start, Bits: bits})
+		busFree = start + int64(len(bits))
+	}
+	return out, nil
+}
+
+// Wire renders the transmissions into the bus line's level sequence
+// over [0, horizonBits): recessive when idle, frame bits otherwise.
+func Wire(txs []Transmission, horizonBits int64) []bool {
+	line := make([]bool, horizonBits)
+	for i := range line {
+		line[i] = true // idle recessive
+	}
+	for _, tx := range txs {
+		for i, bit := range tx.Bits {
+			pos := tx.StartBit + int64(i)
+			if pos >= 0 && pos < horizonBits {
+				line[pos] = bit
+			}
+		}
+	}
+	return line
+}
+
+// Changes extracts the change instants (bit times where the line level
+// differs from the previous bit) from a line level sequence. The level
+// before time 0 is recessive idle.
+func Changes(line []bool) []int64 {
+	var out []int64
+	prev := true
+	for i, v := range line {
+		if v != prev {
+			out = append(out, int64(i))
+		}
+		prev = v
+	}
+	return out
+}
+
+// LogRecord is one row of the transmitter-side software log — what the
+// paper's message listing shows (timestamp, name, id, payload).
+type LogRecord struct {
+	Time float64 // seconds of SOF on the wire
+	Name string
+	ID   uint16
+	Data []byte
+	Bits int // wire length, the paper's "-> N" column
+}
+
+// SoftwareLog renders the transmissions as the application-level log.
+func (b Bus) SoftwareLog(txs []Transmission) []LogRecord {
+	out := make([]LogRecord, len(txs))
+	for i, tx := range txs {
+		out[i] = LogRecord{
+			Time: b.Seconds(tx.StartBit),
+			Name: tx.Msg.Name,
+			ID:   tx.Msg.Frame.ID,
+			Data: append([]byte(nil), tx.Msg.Frame.Data...),
+			Bits: len(tx.Bits),
+		}
+	}
+	return out
+}
+
+func (r LogRecord) String() string {
+	s := fmt.Sprintf("%.6fs %s(%d)d %d", r.Time, r.Name, r.ID, len(r.Data))
+	for _, d := range r.Data {
+		s += fmt.Sprintf(" %02x", d)
+	}
+	return fmt.Sprintf("%s -> %d", s, r.Bits)
+}
+
+// DemoScenario returns the paper's message mix: the four messages of
+// the Section 5.2.1 listing with realistic periods (in bit times at
+// the given bit rate).
+func DemoScenario(bitRate float64) []Message {
+	ms := func(d float64) int64 { return int64(d / 1000 * bitRate) }
+	return []Message{
+		{
+			Name:       "EngineData",
+			Frame:      Frame{ID: 100, Data: []byte{0x00, 0x00, 0x19, 0x00, 0x00, 0x00, 0x00, 0x00}},
+			PeriodBits: ms(10),
+		},
+		{
+			Name:       "Ignition_Info",
+			Frame:      Frame{ID: 103, Data: []byte{0x01, 0x00}},
+			PeriodBits: ms(20),
+			OffsetBits: ms(2),
+		},
+		{
+			Name:       "ABSdata",
+			Frame:      Frame{ID: 201, Data: []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
+			PeriodBits: ms(15),
+			OffsetBits: ms(5),
+		},
+		{
+			Name:       "GearBoxInfo",
+			Frame:      Frame{ID: 1020, Data: []byte{0x01}},
+			PeriodBits: ms(25),
+			OffsetBits: ms(8),
+		},
+	}
+}

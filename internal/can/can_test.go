@@ -1,0 +1,330 @@
+package can
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameValidate(t *testing.T) {
+	if err := (Frame{ID: 0x7FF, Data: make([]byte, 8)}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Frame{ID: 0x800}).Validate(); err == nil {
+		t.Error("11-bit overflow accepted")
+	}
+	if err := (Frame{ID: 1, Data: make([]byte, 9)}).Validate(); err == nil {
+		t.Error("9 data bytes accepted")
+	}
+}
+
+func TestFrameBitsStructure(t *testing.T) {
+	// GearBoxInfo(1020), 1 byte 0x01 — the paper's m1. Unstuffed
+	// layout: SOF + ID + RTR + IDE + r0 + DLC + data + CRC15 +
+	// delimiters + EOF + intermission.
+	f := Frame{ID: 1020, Data: []byte{0x01}}
+	bits, err := f.Bits(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 1 + 11 + 1 + 1 + 1 + 4 + 8 + 15 + 3 + 7 + 3
+	if len(bits) != wantLen {
+		t.Fatalf("unstuffed length %d, want %d", len(bits), wantLen)
+	}
+	str := func(bs []bool) string {
+		var sb strings.Builder
+		for _, b := range bs {
+			if b {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		return sb.String()
+	}
+	got := str(bits)
+	// SOF dominant, then ID 1020 = 01111111100 MSB-first.
+	if !strings.HasPrefix(got, "0"+"01111111100") {
+		t.Errorf("SOF+ID prefix wrong: %s", got[:12])
+	}
+	// RTR, IDE, r0 dominant; DLC = 0001; data = 00000001.
+	if got[12:15] != "000" || got[15:19] != "0001" || got[19:27] != "00000001" {
+		t.Errorf("control/data fields wrong: %s", got[12:27])
+	}
+	// Tail: CRC delimiter 1, ACK 0, ACK delimiter 1, EOF 7x1, IFS 3x1.
+	if !strings.HasSuffix(got, "101"+"1111111"+"111") {
+		t.Errorf("tail wrong: %s", got[len(got)-13:])
+	}
+}
+
+func TestWireLengthMatchesPaperColumn(t *testing.T) {
+	// The paper's log shows on-wire lengths with stuffing: GearBoxInfo
+	// (1 byte) -> 58, EngineData (8 bytes) -> 125, ABSdata (6 bytes) ->
+	// 105, Ignition_Info (2 bytes) -> 67. Stuffing depends on payload
+	// bits, so allow a small tolerance around the paper's numbers.
+	for _, tc := range []struct {
+		f     Frame
+		paper int
+	}{
+		{Frame{ID: 1020, Data: []byte{0x01}}, 58},
+		{Frame{ID: 100, Data: []byte{0, 0, 0x19, 0, 0, 0, 0, 0}}, 125},
+		{Frame{ID: 201, Data: []byte{0, 0, 0, 0, 0, 0}}, 105},
+		{Frame{ID: 103, Data: []byte{0x01, 0x00}}, 67},
+	} {
+		n, err := tc.f.WireLength(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := n - tc.paper
+		if diff < -6 || diff > 6 {
+			t.Errorf("ID %d: wire length %d, paper %d", tc.f.ID, n, tc.paper)
+		}
+		t.Logf("ID %d: %d bits (paper %d)", tc.f.ID, n, tc.paper)
+	}
+}
+
+func TestCRCKnownProperties(t *testing.T) {
+	// CRC of the empty sequence is 0; a single recessive bit gives the
+	// polynomial's low bits feedback.
+	if CRC15(nil) != 0 {
+		t.Error("CRC(nil) != 0")
+	}
+	if CRC15([]bool{false}) != 0 {
+		t.Error("CRC(0) != 0")
+	}
+	if CRC15([]bool{true}) != crcPoly&0x7FFF {
+		t.Errorf("CRC(1) = %#x", CRC15([]bool{true}))
+	}
+}
+
+func TestStuffDestuffRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		st := stuff(raw)
+		// No six consecutive equal bits in the stuffed stream.
+		run := 0
+		var last bool
+		for i, b := range st {
+			if i > 0 && b == last {
+				run++
+			} else {
+				run = 1
+			}
+			if run >= 6 {
+				return false
+			}
+			last = b
+		}
+		back, err := Destuff(st)
+		if err != nil || len(back) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if raw[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestuffViolation(t *testing.T) {
+	six := []bool{true, true, true, true, true, true}
+	if _, err := Destuff(six); err == nil {
+		t.Error("six equal bits accepted")
+	}
+}
+
+func TestParseFrameRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		f := Frame{ID: uint16(r.Intn(0x800)), Data: make([]byte, r.Intn(9))}
+		for i := range f.Data {
+			f.Data[i] = byte(r.Intn(256))
+		}
+		bits, err := f.Bits(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawLen := 1 + 11 + 3 + 4 + len(f.Data)*8 + 15
+		got, err := ParseFrame(bits[:rawLen])
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got.ID != f.ID || len(got.Data) != len(f.Data) {
+			t.Fatalf("round trip: %+v != %+v", got, f)
+		}
+		for i := range f.Data {
+			if got.Data[i] != f.Data[i] {
+				t.Fatalf("data mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestParseFrameRejectsCorruption(t *testing.T) {
+	f := Frame{ID: 100, Data: []byte{0xAB}}
+	bits, _ := f.Bits(false)
+	raw := bits[:1+11+3+4+8+15]
+	flip := append([]bool(nil), raw...)
+	flip[20] = !flip[20] // corrupt a data bit
+	if _, err := ParseFrame(flip); err == nil {
+		t.Error("corrupted frame accepted (CRC missed it)")
+	}
+	if _, err := ParseFrame(raw[:10]); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestScheduleBasic(t *testing.T) {
+	bus := Bus{BitRate: 5e6, Stuffing: true}
+	msgs := DemoScenario(bus.BitRate)
+	horizon := bus.BitTime(0.1) // 100 ms
+	txs, err := bus.Schedule(msgs, horizon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) == 0 {
+		t.Fatal("no transmissions")
+	}
+	// Non-overlapping, ordered.
+	for i := 1; i < len(txs); i++ {
+		if txs[i].StartBit < txs[i-1].EndBit() {
+			t.Fatalf("overlap between tx %d and %d", i-1, i)
+		}
+	}
+	// Expected instance counts: EngineData every 10 ms over 100 ms = 10.
+	count := map[string]int{}
+	for _, tx := range txs {
+		count[tx.Msg.Name]++
+	}
+	if count["EngineData"] != 10 {
+		t.Errorf("EngineData count %d", count["EngineData"])
+	}
+	if count["GearBoxInfo"] != 4 { // offset 8ms, period 25ms: 8,33,58,83
+		t.Errorf("GearBoxInfo count %d", count["GearBoxInfo"])
+	}
+}
+
+func TestArbitrationLowerIDWins(t *testing.T) {
+	bus := Bus{BitRate: 5e6}
+	msgs := []Message{
+		{Name: "lo", Frame: Frame{ID: 10, Data: []byte{1}}, PeriodBits: 100000},
+		{Name: "hi", Frame: Frame{ID: 900, Data: []byte{2}}, PeriodBits: 100000},
+	}
+	// Both release at bit 0; the lower ID must transmit first.
+	txs, err := bus.Schedule(msgs, 100000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 || txs[0].Msg.Name != "lo" || txs[1].Msg.Name != "hi" {
+		t.Fatalf("arbitration order: %v", []string{txs[0].Msg.Name, txs[1].Msg.Name})
+	}
+	if txs[1].StartBit != txs[0].EndBit() {
+		t.Error("loser should start back-to-back after winner")
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	bus := Bus{BitRate: 5e6, Stuffing: true}
+	msgs := DemoScenario(bus.BitRate)
+	horizon := bus.BitTime(0.05)
+	base, _ := bus.Schedule(msgs, horizon, nil)
+	delayed, _ := bus.Schedule(msgs, horizon, map[DelayKey]int64{
+		{Name: "EngineData", Instance: 1}: 777,
+	})
+	// Find the second EngineData in both.
+	find := func(txs []Transmission, name string, inst int) Transmission {
+		n := 0
+		for _, tx := range txs {
+			if tx.Msg.Name == name {
+				if n == inst {
+					return tx
+				}
+				n++
+			}
+		}
+		t.Fatalf("%s #%d not found", name, inst)
+		return Transmission{}
+	}
+	b1 := find(base, "EngineData", 1)
+	d1 := find(delayed, "EngineData", 1)
+	if d1.StartBit-b1.StartBit != 777 {
+		t.Errorf("delay shift %d, want 777", d1.StartBit-b1.StartBit)
+	}
+	// Instance 0 unaffected.
+	if find(base, "EngineData", 0).StartBit != find(delayed, "EngineData", 0).StartBit {
+		t.Error("undelayed instance moved")
+	}
+}
+
+func TestWireAndChanges(t *testing.T) {
+	bus := Bus{BitRate: 5e6, Stuffing: true}
+	msgs := DemoScenario(bus.BitRate)
+	horizon := bus.BitTime(0.02)
+	txs, _ := bus.Schedule(msgs, horizon, nil)
+	line := Wire(txs, horizon)
+	if int64(len(line)) != horizon {
+		t.Fatalf("line length %d", len(line))
+	}
+	// Idle before first SOF is recessive.
+	for i := int64(0); i < txs[0].StartBit; i++ {
+		if !line[i] {
+			t.Fatal("bus not idle before first frame")
+		}
+	}
+	// First change is the first SOF (recessive -> dominant).
+	ch := Changes(line)
+	if len(ch) == 0 || ch[0] != txs[0].StartBit {
+		t.Fatalf("first change %v, want %d", ch[0], txs[0].StartBit)
+	}
+	// Changes alternate levels by construction: reconstructing the
+	// line from changes must reproduce it.
+	level := true
+	j := 0
+	for i := range line {
+		if j < len(ch) && ch[j] == int64(i) {
+			level = !level
+			j++
+		}
+		if line[i] != level {
+			t.Fatalf("change list inconsistent at bit %d", i)
+		}
+	}
+}
+
+func TestSoftwareLogFormat(t *testing.T) {
+	bus := Bus{BitRate: 5e6, Stuffing: true}
+	msgs := DemoScenario(bus.BitRate)
+	txs, _ := bus.Schedule(msgs, bus.BitTime(0.02), nil)
+	log := bus.SoftwareLog(txs)
+	if len(log) != len(txs) {
+		t.Fatal("log length")
+	}
+	for _, r := range log {
+		s := r.String()
+		if !strings.Contains(s, r.Name) || !strings.Contains(s, "->") {
+			t.Errorf("log row %q", s)
+		}
+	}
+}
+
+func TestScheduleRejectsBadMessages(t *testing.T) {
+	bus := Bus{BitRate: 5e6}
+	if _, err := bus.Schedule([]Message{{Name: "x", Frame: Frame{ID: 1}, PeriodBits: 0}}, 100, nil); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := bus.Schedule([]Message{{Name: "x", Frame: Frame{ID: 0x900}, PeriodBits: 10}}, 100, nil); err == nil {
+		t.Error("bad ID accepted")
+	}
+}
+
+func TestSecondsBitTimeInverse(t *testing.T) {
+	bus := Bus{BitRate: 5e6}
+	if bus.BitTime(bus.Seconds(12345)) != 12345 {
+		t.Error("Seconds/BitTime not inverse")
+	}
+}

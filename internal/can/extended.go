@@ -1,0 +1,123 @@
+package can
+
+import "fmt"
+
+// ExtendedFrame is a CAN 2.0B data frame with a 29-bit identifier,
+// transmitted as an 11-bit base ID, SRR/IDE recessive, an 18-bit ID
+// extension, then RTR/r1/r0 and the usual control/data/CRC fields.
+type ExtendedFrame struct {
+	ID   uint32 // 29-bit identifier
+	Data []byte // 0..8 bytes
+}
+
+// Validate checks identifier range and payload length.
+func (f ExtendedFrame) Validate() error {
+	if f.ID > 0x1FFF_FFFF {
+		return fmt.Errorf("can: identifier %#x exceeds 29 bits", f.ID)
+	}
+	if len(f.Data) > 8 {
+		return fmt.Errorf("can: %d data bytes exceed 8", len(f.Data))
+	}
+	return nil
+}
+
+// Bits serializes the extended frame to bus levels (true = recessive),
+// SOF through EOF plus intermission, with optional stuffing over
+// SOF..CRC.
+func (f ExtendedFrame) Bits(stuffing bool) ([]bool, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var raw []bool
+	push := func(v uint32, n int) {
+		for i := n - 1; i >= 0; i-- {
+			raw = append(raw, v&(1<<uint(i)) != 0)
+		}
+	}
+	base := f.ID >> 18    // 11 most significant bits
+	ext := f.ID & 0x3FFFF // 18 least significant bits
+	push(0, 1)            // SOF
+	push(base, 11)        // base identifier
+	push(1, 1)            // SRR: recessive
+	push(1, 1)            // IDE: recessive marks extended format
+	push(ext, 18)         // identifier extension
+	push(0, 1)            // RTR: dominant for data frames
+	push(0, 2)            // r1, r0
+	push(uint32(len(f.Data)), 4)
+	for _, d := range f.Data {
+		push(uint32(d), 8)
+	}
+	crc := CRC15(raw)
+	push(uint32(crc), 15)
+
+	out := raw
+	if stuffing {
+		out = stuff(raw)
+	}
+	out = append(out, true, false, true) // CRC del, ACK, ACK del
+	for i := 0; i < 7+3; i++ {
+		out = append(out, true)
+	}
+	return out, nil
+}
+
+// WireLength returns the on-wire length in bit times.
+func (f ExtendedFrame) WireLength(stuffing bool) (int, error) {
+	bits, err := f.Bits(stuffing)
+	if err != nil {
+		return 0, err
+	}
+	return len(bits), nil
+}
+
+// ParseExtendedFrame decodes an extended frame from its unstuffed
+// SOF..CRC bit sequence, verifying structure and CRC.
+func ParseExtendedFrame(raw []bool) (ExtendedFrame, error) {
+	const header = 1 + 11 + 2 + 18 + 3 + 4
+	if len(raw) < header+15 {
+		return ExtendedFrame{}, fmt.Errorf("can: extended frame too short (%d bits)", len(raw))
+	}
+	pos := 0
+	read := func(n int) uint32 {
+		var v uint32
+		for i := 0; i < n; i++ {
+			v <<= 1
+			if raw[pos] {
+				v |= 1
+			}
+			pos++
+		}
+		return v
+	}
+	if read(1) != 0 {
+		return ExtendedFrame{}, fmt.Errorf("can: missing SOF")
+	}
+	base := read(11)
+	if read(1) != 1 {
+		return ExtendedFrame{}, fmt.Errorf("can: SRR must be recessive")
+	}
+	if read(1) != 1 {
+		return ExtendedFrame{}, fmt.Errorf("can: not an extended frame (IDE dominant)")
+	}
+	ext := read(18)
+	if read(1) != 0 {
+		return ExtendedFrame{}, fmt.Errorf("can: RTR frames not supported")
+	}
+	read(2) // r1, r0
+	dlc := int(read(4))
+	if dlc > 8 {
+		return ExtendedFrame{}, fmt.Errorf("can: DLC %d exceeds 8", dlc)
+	}
+	if len(raw) != header+dlc*8+15 {
+		return ExtendedFrame{}, fmt.Errorf("can: frame length %d does not match DLC %d", len(raw), dlc)
+	}
+	data := make([]byte, dlc)
+	for i := range data {
+		data[i] = byte(read(8))
+	}
+	wantCRC := CRC15(raw[:pos])
+	if uint16(read(15)) != wantCRC {
+		return ExtendedFrame{}, fmt.Errorf("can: CRC mismatch")
+	}
+	return ExtendedFrame{ID: base<<18 | ext, Data: data}, nil
+}

@@ -1,0 +1,103 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtendedFrameValidate(t *testing.T) {
+	if err := (ExtendedFrame{ID: 0x1FFFFFFF, Data: make([]byte, 8)}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (ExtendedFrame{ID: 0x20000000}).Validate(); err == nil {
+		t.Error("30-bit ID accepted")
+	}
+	if err := (ExtendedFrame{ID: 1, Data: make([]byte, 9)}).Validate(); err == nil {
+		t.Error("9 bytes accepted")
+	}
+}
+
+func TestExtendedFrameStructure(t *testing.T) {
+	f := ExtendedFrame{ID: 0x1ABCDE42, Data: []byte{0x55}}
+	bits, err := f.Bits(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOF(1)+base(11)+SRR(1)+IDE(1)+ext(18)+RTR(1)+r1r0(2)+DLC(4)+
+	// data(8)+CRC(15)+del/ack/del(3)+EOF(7)+IFS(3).
+	want := 1 + 11 + 1 + 1 + 18 + 1 + 2 + 4 + 8 + 15 + 3 + 7 + 3
+	if len(bits) != want {
+		t.Fatalf("length %d want %d", len(bits), want)
+	}
+	// SRR and IDE recessive at positions 12, 13.
+	if !bits[12] || !bits[13] {
+		t.Error("SRR/IDE not recessive")
+	}
+	if bits[0] {
+		t.Error("SOF not dominant")
+	}
+}
+
+func TestExtendedFrameRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		f := ExtendedFrame{ID: r.Uint32() & 0x1FFFFFFF, Data: make([]byte, r.Intn(9))}
+		for i := range f.Data {
+			f.Data[i] = byte(r.Intn(256))
+		}
+		bits, err := f.Bits(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawLen := 1 + 11 + 2 + 18 + 3 + 4 + len(f.Data)*8 + 15
+		got, err := ParseExtendedFrame(bits[:rawLen])
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got.ID != f.ID || len(got.Data) != len(f.Data) {
+			t.Fatalf("round trip mismatch: %x vs %x", got.ID, f.ID)
+		}
+		for i := range f.Data {
+			if got.Data[i] != f.Data[i] {
+				t.Fatal("payload mismatch")
+			}
+		}
+	}
+}
+
+func TestExtendedFrameRejectsBaseFormat(t *testing.T) {
+	base := Frame{ID: 100, Data: []byte{1}}
+	bits, _ := base.Bits(false)
+	rawLen := 1 + 11 + 3 + 4 + 8 + 15
+	if _, err := ParseExtendedFrame(bits[:rawLen]); err == nil {
+		t.Error("base-format frame parsed as extended")
+	}
+}
+
+func TestExtendedFrameStuffingRoundTrip(t *testing.T) {
+	f := ExtendedFrame{ID: 0, Data: []byte{0x00, 0x00}} // long dominant runs
+	stuffed, err := f.Bits(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unstuffed, err := f.Bits(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stuffed) <= len(unstuffed) {
+		t.Error("stuffing added no bits to an all-zero frame")
+	}
+	// Destuff the SOF..CRC region and re-parse.
+	tail := 3 + 7 + 3
+	raw, err := Destuff(stuffed[:len(stuffed)-tail])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseExtendedFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != f.ID {
+		t.Error("stuffed round trip mismatch")
+	}
+}

@@ -1,0 +1,206 @@
+// Package can models a Controller Area Network bus (ISO 11898, CAN
+// 2.0A base format) at bit level: frame encoding with CRC-15 and
+// optional bit stuffing, an arbitrating bus with periodic traffic and
+// injectable per-message delays, the transmitter-side software log the
+// paper's Section 5.2.1 starts from, and the bus-line change trace the
+// timeprint logger consumes. It replaces the Vector CANoe Demo9
+// scenario the authors recorded: a synthetic automotive message set
+// with the same message mix (EngineData, ABSdata, GearBoxInfo,
+// Ignition_Info) and configurable delays.
+package can
+
+import (
+	"fmt"
+)
+
+// crcPoly is the CAN CRC-15 polynomial
+// x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1.
+const crcPoly = 0x4599
+
+// Frame is a CAN 2.0A data frame (11-bit identifier, up to 8 data
+// bytes).
+type Frame struct {
+	ID   uint16 // 11-bit identifier
+	Data []byte // 0..8 bytes
+}
+
+// Validate checks identifier range and payload length.
+func (f Frame) Validate() error {
+	if f.ID > 0x7FF {
+		return fmt.Errorf("can: identifier %#x exceeds 11 bits", f.ID)
+	}
+	if len(f.Data) > 8 {
+		return fmt.Errorf("can: %d data bytes exceed 8", len(f.Data))
+	}
+	return nil
+}
+
+// CRC15 computes the CAN CRC over a bit sequence (true = recessive/1).
+func CRC15(bits []bool) uint16 {
+	var crc uint16
+	for _, b := range bits {
+		inv := b != (crc&0x4000 != 0)
+		crc <<= 1
+		if inv {
+			crc ^= crcPoly
+		}
+		crc &= 0x7FFF
+	}
+	return crc
+}
+
+// Bits serializes the frame to bus levels, true = recessive (1),
+// false = dominant (0), from SOF through EOF plus the 3-bit
+// intermission. With stuffing enabled, a complement bit is inserted
+// after every run of five equal bits between SOF and the CRC sequence
+// inclusive, per ISO 11898-1 (the paper's didactic bitstream omits
+// stuffing; pass false to match it).
+func (f Frame) Bits(stuffing bool) ([]bool, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	// Unstuffed SOF..CRC portion.
+	var raw []bool
+	push := func(v uint32, n int) {
+		for i := n - 1; i >= 0; i-- {
+			raw = append(raw, v&(1<<uint(i)) != 0)
+		}
+	}
+	push(0, 1)                   // SOF: dominant
+	push(uint32(f.ID), 11)       // identifier, MSB first
+	push(0, 1)                   // RTR: dominant for data frames
+	push(0, 1)                   // IDE: dominant for base format
+	push(0, 1)                   // r0
+	push(uint32(len(f.Data)), 4) // DLC
+	for _, d := range f.Data {
+		push(uint32(d), 8)
+	}
+	crc := CRC15(raw)
+	push(uint32(crc), 15)
+
+	out := raw
+	if stuffing {
+		out = stuff(raw)
+	}
+	// CRC delimiter, ACK slot (dominant: some receiver acked), ACK
+	// delimiter, 7-bit EOF, 3-bit intermission — never stuffed.
+	out = append(out, true, false, true)
+	for i := 0; i < 7+3; i++ {
+		out = append(out, true)
+	}
+	return out, nil
+}
+
+// stuff inserts a complement bit after each run of five equal bits.
+func stuff(in []bool) []bool {
+	out := make([]bool, 0, len(in)+len(in)/5)
+	run := 0
+	var last bool
+	for i, b := range in {
+		if i > 0 && b == last {
+			run++
+		} else {
+			run = 1
+		}
+		out = append(out, b)
+		last = b
+		if run == 5 {
+			out = append(out, !b)
+			last = !b
+			run = 1
+		}
+	}
+	return out
+}
+
+// Destuff removes stuffing bits, returning the raw sequence. It
+// reports an error on a stuffing violation (six equal consecutive
+// bits), which on a real bus signals an error frame.
+func Destuff(in []bool) ([]bool, error) {
+	var out []bool
+	run := 0
+	var last bool
+	for i := 0; i < len(in); i++ {
+		b := in[i]
+		if len(out) > 0 && b == last {
+			run++
+		} else {
+			run = 1
+		}
+		if run == 6 {
+			return nil, fmt.Errorf("can: stuffing violation at bit %d", i)
+		}
+		out = append(out, b)
+		last = b
+		if run == 5 {
+			// Next bit is a stuff bit and must be the complement.
+			if i+1 < len(in) {
+				if in[i+1] == b {
+					return nil, fmt.Errorf("can: stuffing violation at bit %d", i+1)
+				}
+				last = in[i+1]
+				i++
+				run = 1
+			}
+		}
+	}
+	return out, nil
+}
+
+// ParseFrame decodes a frame from its unstuffed SOF..CRC bit sequence,
+// verifying the CRC. It is the inverse of the raw portion of Bits.
+func ParseFrame(raw []bool) (Frame, error) {
+	if len(raw) < 1+11+3+4+15 {
+		return Frame{}, fmt.Errorf("can: frame too short (%d bits)", len(raw))
+	}
+	pos := 0
+	read := func(n int) uint32 {
+		var v uint32
+		for i := 0; i < n; i++ {
+			v <<= 1
+			if raw[pos] {
+				v |= 1
+			}
+			pos++
+		}
+		return v
+	}
+	if read(1) != 0 {
+		return Frame{}, fmt.Errorf("can: missing SOF")
+	}
+	id := read(11)
+	if read(1) != 0 {
+		return Frame{}, fmt.Errorf("can: RTR frames not supported")
+	}
+	if read(1) != 0 {
+		return Frame{}, fmt.Errorf("can: extended frames not supported")
+	}
+	read(1) // r0
+	dlc := int(read(4))
+	if dlc > 8 {
+		return Frame{}, fmt.Errorf("can: DLC %d exceeds 8", dlc)
+	}
+	if len(raw) != 1+11+3+4+dlc*8+15 {
+		return Frame{}, fmt.Errorf("can: frame length %d does not match DLC %d", len(raw), dlc)
+	}
+	data := make([]byte, dlc)
+	for i := range data {
+		data[i] = byte(read(8))
+	}
+	wantCRC := CRC15(raw[:pos])
+	gotCRC := uint16(read(15))
+	if gotCRC != wantCRC {
+		return Frame{}, fmt.Errorf("can: CRC mismatch %#x != %#x", gotCRC, wantCRC)
+	}
+	return Frame{ID: uint16(id), Data: data}, nil
+}
+
+// WireLength returns the frame's on-wire length in bit times,
+// including EOF and intermission.
+func (f Frame) WireLength(stuffing bool) (int, error) {
+	bits, err := f.Bits(stuffing)
+	if err != nil {
+		return 0, err
+	}
+	return len(bits), nil
+}

@@ -1,0 +1,127 @@
+package can
+
+import "fmt"
+
+// Listener-side decoding: recover frames from a raw bus-line level
+// sequence, the way a protocol analyzer does. This closes the
+// postmortem loop of Section 5.2.1: the timeprint reconstruction
+// yields the bus line's change instants; rendering them back to levels
+// and decoding produces the actual frame — identifier, payload and all
+// — so the analyst sees *which* message was on the wire and when, not
+// just that something toggled.
+
+// DecodedFrame is one frame recovered from a line trace.
+type DecodedFrame struct {
+	Frame Frame
+	// StartBit is the SOF position within the trace.
+	StartBit int
+	// Bits is the frame's stuffed on-wire length (SOF..CRC inclusive,
+	// before the delimiter/EOF tail).
+	Bits int
+}
+
+// DecodeLine scans a level sequence (true = recessive) for frames,
+// assuming ISO 11898 stuffing. Decoding is resynchronizing: after a
+// malformed candidate the scan resumes one bit past its SOF.
+func DecodeLine(line []bool) []DecodedFrame {
+	var out []DecodedFrame
+	i := 0
+	for i < len(line) {
+		// Hunt for SOF: recessive-to-dominant edge (or dominant at the
+		// very start of the trace).
+		if line[i] {
+			i++
+			continue
+		}
+		if i > 0 && !line[i-1] {
+			i++
+			continue
+		}
+		f, used, err := decodeAt(line, i)
+		if err != nil {
+			i++
+			continue
+		}
+		out = append(out, DecodedFrame{Frame: f, StartBit: i, Bits: used})
+		i += used
+	}
+	return out
+}
+
+// decodeAt attempts to decode one stuffed base frame starting at SOF
+// position `start`. It returns the frame and the number of stuffed
+// bits consumed (SOF..CRC).
+func decodeAt(line []bool, start int) (Frame, int, error) {
+	// Destuff on the fly while collecting the raw frame; the raw
+	// length depends on DLC, known after 19 raw bits.
+	var raw []bool
+	run := 0
+	var last bool
+	need := 1 + 11 + 3 + 4 + 15 // raw bits before data, minimum frame
+	pos := start
+	for len(raw) < need {
+		if pos >= len(line) {
+			return Frame{}, 0, fmt.Errorf("can: truncated frame")
+		}
+		b := line[pos]
+		if len(raw) > 0 && b == last && run == 5 {
+			return Frame{}, 0, fmt.Errorf("can: stuffing violation")
+		}
+		if len(raw) > 0 && run == 5 {
+			// Stuff bit: must be complement; consume without storing.
+			if b == last {
+				return Frame{}, 0, fmt.Errorf("can: stuffing violation")
+			}
+			last = b
+			run = 1
+			pos++
+			continue
+		}
+		if len(raw) > 0 && b == last {
+			run++
+		} else {
+			run = 1
+		}
+		raw = append(raw, b)
+		last = b
+		pos++
+
+		// Once the DLC is visible, extend the required length.
+		if len(raw) == 1+11+3+4 {
+			dlc := 0
+			for _, bit := range raw[1+11+3 : 1+11+3+4] {
+				dlc <<= 1
+				if bit {
+					dlc |= 1
+				}
+			}
+			if dlc > 8 {
+				return Frame{}, 0, fmt.Errorf("can: DLC %d", dlc)
+			}
+			need = 1 + 11 + 3 + 4 + dlc*8 + 15
+		}
+	}
+	f, err := ParseFrame(raw)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return f, pos - start, nil
+}
+
+// LineFromChanges renders change instants back into a level sequence
+// of the given length, starting from the idle recessive level — the
+// inverse of Changes, used to feed reconstructed signals into
+// DecodeLine.
+func LineFromChanges(changes []int64, length int64) []bool {
+	line := make([]bool, length)
+	level := true
+	j := 0
+	for i := int64(0); i < length; i++ {
+		for j < len(changes) && changes[j] == i {
+			level = !level
+			j++
+		}
+		line[i] = level
+	}
+	return line
+}

@@ -1,0 +1,321 @@
+// Package cnf builds CNF(+XOR) formulas on top of the sat solver. Its
+// centerpiece is the compact cardinality encoding the paper relies on:
+// the sequential-counter ("LTSEQ") encoding of Sinz (CP 2005), which
+// expresses "exactly k of m variables" with O(m·k) auxiliary variables
+// and clauses — the naive binomial encoding would need C(m, k+1) +
+// C(m, m−k+1) clauses and is provided only as an ablation baseline.
+package cnf
+
+import (
+	"fmt"
+
+	"repro/internal/sat"
+)
+
+// Builder accumulates constraints into an underlying solver and manages
+// auxiliary-variable allocation.
+type Builder struct {
+	// S is the underlying solver; expose it for solving and model
+	// queries once the formula is complete.
+	S *sat.Solver
+}
+
+// NewBuilder returns a Builder over a fresh solver with n problem
+// variables (1..n). Auxiliary variables are allocated above n.
+func NewBuilder(n int) *Builder {
+	return &Builder{S: sat.New(n)}
+}
+
+// NewVar allocates a fresh auxiliary variable.
+func (b *Builder) NewVar() int { return b.S.NewVar() }
+
+// AddClause adds a disjunction of DIMACS literals.
+func (b *Builder) AddClause(lits ...int) {
+	if err := b.S.AddClause(lits...); err != nil {
+		panic(fmt.Sprintf("cnf: %v", err))
+	}
+}
+
+// AddXor adds the parity constraint over vars (= rhs) using the
+// solver's native XOR clauses. This mirrors CryptoMiniSat's xor-clause
+// input that the paper uses for the rows of A·x = TP.
+func (b *Builder) AddXor(vars []int, rhs bool) {
+	if err := b.S.AddXorClause(vars, rhs); err != nil {
+		panic(fmt.Sprintf("cnf: %v", err))
+	}
+}
+
+// AddXorCut adds the parity constraint over vars (= rhs), cutting long
+// constraints into chained segments of at most maxLen variables linked
+// by fresh auxiliary variables:
+//
+//	x1^…^xL^t1 = 0,  t1^x(L+1)^…^t2 = 0,  …,  tk^…^xn = rhs.
+//
+// Short XOR clauses keep implication reasons — and therefore learned
+// clauses — short, which is decisive for solving performance on the
+// dense parity rows of A·x = TP (CryptoMiniSat applies the same
+// transformation). Solutions projected onto the original variables are
+// unchanged: every assignment of the x's extends uniquely to the t's.
+func (b *Builder) AddXorCut(vars []int, rhs bool, maxLen int) {
+	if maxLen < 3 {
+		panic("cnf: AddXorCut needs maxLen >= 3")
+	}
+	if len(vars) <= maxLen {
+		b.AddXor(vars, rhs)
+		return
+	}
+	rest := vars
+	carry := 0 // 0 = no carry variable yet
+	for len(rest) > 0 {
+		seg := make([]int, 0, maxLen+1)
+		if carry != 0 {
+			seg = append(seg, carry)
+		}
+		take := maxLen - len(seg)
+		if take > len(rest) {
+			take = len(rest)
+		}
+		seg = append(seg, rest[:take]...)
+		rest = rest[take:]
+		if len(rest) == 0 {
+			b.AddXor(seg, rhs)
+			return
+		}
+		carry = b.NewVar()
+		seg = append(seg, carry)
+		b.AddXor(seg, false) // segment ^ carry = 0, i.e. carry = segment sum
+	}
+}
+
+// AddXorCNF adds the same parity constraint expanded to plain CNF via a
+// chain of Tseitin XOR gates — the ablation baseline quantifying what
+// native XOR support buys.
+func (b *Builder) AddXorCNF(vars []int, rhs bool) {
+	switch len(vars) {
+	case 0:
+		if rhs {
+			b.AddClause() // empty clause: unsatisfiable
+		}
+		return
+	case 1:
+		if rhs {
+			b.AddClause(vars[0])
+		} else {
+			b.AddClause(-vars[0])
+		}
+		return
+	}
+	// chain = vars[0]; chain = chain ^ vars[i] ...
+	chain := vars[0]
+	for _, v := range vars[1:] {
+		z := b.NewVar()
+		b.xorGate(z, chain, v)
+		chain = z
+	}
+	if rhs {
+		b.AddClause(chain)
+	} else {
+		b.AddClause(-chain)
+	}
+}
+
+// xorGate encodes z <-> a ^ b.
+func (b *Builder) xorGate(z, a, x int) {
+	b.AddClause(-z, a, x)
+	b.AddClause(-z, -a, -x)
+	b.AddClause(z, -a, x)
+	b.AddClause(z, a, -x)
+}
+
+// AtMostK constrains at most k of the literals to be true, using the
+// Sinz sequential counter. k < 0 panics; k = 0 forces all literals
+// false; k >= len(lits) adds nothing.
+func (b *Builder) AtMostK(lits []int, k int) {
+	n := len(lits)
+	switch {
+	case k < 0:
+		panic("cnf: AtMostK with negative k")
+	case k >= n:
+		return
+	case k == 0:
+		for _, l := range lits {
+			b.AddClause(-l)
+		}
+		return
+	}
+	// s[i][j] (1-based i in 1..n-1, j in 1..k): the count of true
+	// literals among the first i is at least j.
+	s := make([][]int, n) // s[i] valid for i in 1..n-1
+	for i := 1; i < n; i++ {
+		s[i] = make([]int, k+1)
+		for j := 1; j <= k; j++ {
+			s[i][j] = b.NewVar()
+		}
+	}
+	x := func(i int) int { return lits[i-1] } // 1-based literal access
+
+	b.AddClause(-x(1), s[1][1])
+	for j := 2; j <= k; j++ {
+		b.AddClause(-s[1][j])
+	}
+	for i := 2; i < n; i++ {
+		b.AddClause(-x(i), s[i][1])
+		b.AddClause(-s[i-1][1], s[i][1])
+		for j := 2; j <= k; j++ {
+			b.AddClause(-x(i), -s[i-1][j-1], s[i][j])
+			b.AddClause(-s[i-1][j], s[i][j])
+		}
+		b.AddClause(-x(i), -s[i-1][k])
+	}
+	b.AddClause(-x(n), -s[n-1][k])
+}
+
+// AtLeastK constrains at least k of the literals to be true with a
+// width-k sequential counter: u[i][j] holds iff at least j of the
+// first i literals are true. This direct encoding stays O(n·k) — the
+// textbook reduction AtMostK(¬lits, n−k) would build a width-(n−k)
+// counter, which for the reconstruction problem's small k over large m
+// explodes to hundreds of thousands of clauses.
+func (b *Builder) AtLeastK(lits []int, k int) {
+	n := len(lits)
+	switch {
+	case k <= 0:
+		return
+	case k > n:
+		b.AddClause() // unsatisfiable
+		return
+	case k == 1:
+		b.AddClause(lits...)
+		return
+	}
+	// u[i][j] for i in 1..n, j in 1..k.
+	u := make([][]int, n+1)
+	for i := 1; i <= n; i++ {
+		u[i] = make([]int, k+1)
+		for j := 1; j <= k; j++ {
+			u[i][j] = b.NewVar()
+		}
+	}
+	x := func(i int) int { return lits[i-1] }
+
+	// Base row: u[1][1] <-> x1; u[1][j] false for j >= 2.
+	b.AddClause(-u[1][1], x(1))
+	b.AddClause(u[1][1], -x(1))
+	for j := 2; j <= k; j++ {
+		b.AddClause(-u[1][j])
+	}
+	for i := 2; i <= n; i++ {
+		for j := 1; j <= k; j++ {
+			// Forward: support propagates up.
+			b.AddClause(-u[i-1][j], u[i][j])
+			if j == 1 {
+				b.AddClause(-x(i), u[i][1])
+			} else {
+				b.AddClause(-x(i), -u[i-1][j-1], u[i][j])
+			}
+			// Backward: u needs support (prevents vacuous truth).
+			b.AddClause(-u[i][j], u[i-1][j], x(i))
+			if j > 1 {
+				b.AddClause(-u[i][j], u[i-1][j], u[i-1][j-1])
+			}
+		}
+	}
+	b.AddClause(u[n][k])
+}
+
+// ExactlyK constrains exactly k of the literals to be true — the
+// cardinality constraint of the signal reconstruction problem, where k
+// is the logged change count.
+func (b *Builder) ExactlyK(lits []int, k int) {
+	b.AtMostK(lits, k)
+	b.AtLeastK(lits, k)
+}
+
+// MaxBinomialClauses caps the clause explosion the naive encodings are
+// allowed to produce before they refuse to run.
+const MaxBinomialClauses = 2_000_000
+
+// AtMostKBinomial is the naive O(C(n,k+1)) encoding: one clause of
+// negations for every (k+1)-subset. It returns an error instead of
+// emitting more than MaxBinomialClauses clauses.
+func (b *Builder) AtMostKBinomial(lits []int, k int) error {
+	n := len(lits)
+	if k >= n {
+		return nil
+	}
+	if k < 0 {
+		panic("cnf: AtMostKBinomial with negative k")
+	}
+	if c := binomial(n, k+1); c < 0 || c > MaxBinomialClauses {
+		return fmt.Errorf("cnf: binomial at-most-%d over %d literals needs %d clauses", k, n, c)
+	}
+	subset := make([]int, k+1)
+	var rec func(start, depth int) // enumerate (k+1)-subsets
+	clause := make([]int, k+1)
+	rec = func(start, depth int) {
+		if depth == k+1 {
+			for i, idx := range subset {
+				clause[i] = -lits[idx]
+			}
+			b.AddClause(clause...)
+			return
+		}
+		for i := start; i < n; i++ {
+			subset[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return nil
+}
+
+// AtLeastKBinomial is the naive dual: one clause per (n-k+1)-subset.
+func (b *Builder) AtLeastKBinomial(lits []int, k int) error {
+	n := len(lits)
+	if k <= 0 {
+		return nil
+	}
+	if k > n {
+		b.AddClause()
+		return nil
+	}
+	neg := make([]int, n)
+	for i, l := range lits {
+		neg[i] = -l
+	}
+	return b.AtMostKBinomial(neg, n-k)
+}
+
+// ExactlyKBinomial combines both naive directions.
+func (b *Builder) ExactlyKBinomial(lits []int, k int) error {
+	if err := b.AtMostKBinomial(lits, k); err != nil {
+		return err
+	}
+	return b.AtLeastKBinomial(lits, k)
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c < 0 || c > 1<<40 {
+			return -1 // overflow sentinel
+		}
+	}
+	return c
+}
+
+// Implies adds a -> b.
+func (b *Builder) Implies(a, c int) { b.AddClause(-a, c) }
+
+// Equiv adds a <-> b.
+func (b *Builder) Equiv(a, c int) {
+	b.AddClause(-a, c)
+	b.AddClause(a, -c)
+}

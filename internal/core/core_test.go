@@ -1,0 +1,400 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/encoding"
+)
+
+// figure4Encoding returns the 16 8-bit timestamps from the paper's
+// Figure 4, indexed TS(1)..TS(16) there, 0..15 here.
+func figure4Encoding(t testing.TB) *encoding.Encoding {
+	t.Helper()
+	raw := []string{
+		"00010100", "00111010", "00001111", "01000100",
+		"00000010", "10101110", "01100000", "11110101",
+		"00010111", "11100111", "10100000", "10101000",
+		"10011110", "10001111", "01110000", "01101100",
+	}
+	ts := make([]bitvec.Vector, len(raw))
+	for i, s := range raw {
+		ts[i] = bitvec.MustParse(s)
+	}
+	e, err := encoding.FromTimestamps(ts, "figure4")
+	if err != nil {
+		t.Fatalf("figure 4 encoding invalid: %v", err)
+	}
+	return e
+}
+
+func TestFigure4Timeprint(t *testing.T) {
+	// The paper aggregates TS(4), TS(5), TS(10), TS(11) — 0-based
+	// change cycles 3, 4, 9, 10 — and obtains TP = 00000001.
+	enc := figure4Encoding(t)
+	s := SignalFromChanges(16, 3, 4, 9, 10)
+	e := Log(enc, s)
+	if e.K != 4 {
+		t.Fatalf("k = %d", e.K)
+	}
+	if got := e.TP.String(); got != "00000001" {
+		t.Fatalf("TP = %s, want 00000001", got)
+	}
+}
+
+func TestFigure4CandidateCounts(t *testing.T) {
+	// Paper: 256 signals aggregate to TP (any k); exactly 8 with k=4.
+	enc := figure4Encoding(t)
+	target := bitvec.MustParse("00000001")
+
+	total := 0
+	withK4 := 0
+	for mask := uint64(0); mask < 1<<16; mask++ {
+		s := SignalFromVector(bitvec.FromUint(mask, 16))
+		e := Log(enc, s)
+		if e.TP.Equal(target) {
+			total++
+			if e.K == 4 {
+				withK4++
+			}
+		}
+	}
+	if total != 256 {
+		t.Errorf("signals reaching TP: %d, paper says 256", total)
+	}
+	if withK4 != 8 {
+		t.Errorf("signals with k=4 reaching TP: %d, paper says 8", withK4)
+	}
+
+	// Concretize must return exactly those 8.
+	got := Concretize(enc, LogEntry{TP: target, K: 4})
+	if len(got) != 8 {
+		t.Errorf("Concretize: %d signals", len(got))
+	}
+	// The paper's actual signal and its TS(1)+TS(5)+TS(9) alternative
+	// (0-based 0, 4, 8 — with k=3) are both reported; the k=3 one must
+	// NOT appear under k=4.
+	actual := SignalFromChanges(16, 3, 4, 9, 10)
+	found := false
+	for _, s := range got {
+		if s.Equal(actual) {
+			found = true
+		}
+		if s.K() != 4 {
+			t.Errorf("concretized signal has k=%d", s.K())
+		}
+	}
+	if !found {
+		t.Error("actual signal not among the 8 candidates")
+	}
+	// TS(1) ^ TS(5) ^ TS(9) = TP too (the paper's k=3 example).
+	alt := Log(enc, SignalFromChanges(16, 0, 4, 8))
+	if !alt.TP.Equal(target) || alt.K != 3 {
+		t.Errorf("paper's k=3 example: %v", alt)
+	}
+}
+
+func TestGaloisInsertion(t *testing.T) {
+	// Lemma 1: F ⊆ γ(α(F)) and V = α(γ(V)) for every V in the image.
+	enc, err := encoding.Incremental(10, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	var f []Signal
+	for i := 0; i < 20; i++ {
+		f = append(f, SignalFromVector(bitvec.FromUint(r.Uint64()&1023, 10)))
+	}
+	// α(F)
+	abs := Abstract(enc, f)
+	// γ(α(F)) via exhaustive concretization.
+	conc := map[string]bool{}
+	for _, e := range abs {
+		for _, s := range Concretize(enc, e) {
+			conc[s.Vector().Key()] = true
+		}
+	}
+	for _, s := range f {
+		if !conc[s.Vector().Key()] {
+			t.Fatal("F not contained in γ(α(F))")
+		}
+	}
+	// α(γ(V)) = V: abstracting every concretized signal of an entry
+	// yields exactly that entry.
+	for _, e := range abs {
+		for _, s := range Concretize(enc, e) {
+			if got := Log(enc, s); !got.Equal(e) {
+				t.Fatalf("α(γ(V)) produced %v from %v", got, e)
+			}
+		}
+	}
+}
+
+func TestLoggerMatchesBatchLog(t *testing.T) {
+	enc, err := encoding.Incremental(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	lg := NewLogger(enc)
+	var want []LogEntry
+	for tc := 0; tc < 25; tc++ {
+		s := SignalFromVector(func() bitvec.Vector {
+			v := bitvec.New(16)
+			for i := 0; i < 16; i++ {
+				if r.Intn(4) == 0 {
+					v.Set(i, true)
+				}
+			}
+			return v
+		}())
+		want = append(want, Log(enc, s))
+		for i := 0; i < 16; i++ {
+			e, done := lg.TickChange(s.Changed(i))
+			if done != (i == 15) {
+				t.Fatalf("trace-cycle boundary at wrong tick %d", i)
+			}
+			if done && !e.Equal(want[tc]) {
+				t.Fatalf("streamed entry %v != batch %v", e, want[tc])
+			}
+		}
+	}
+	got := lg.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	if lg.Cycles() != 25*16 {
+		t.Errorf("cycles %d", lg.Cycles())
+	}
+}
+
+func TestLoggerEdgeDetection(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	lg := NewLogger(enc)
+	// Wire: 0 0 1 1 0 0 0 1  -> changes at cycles 2, 4, 7.
+	vals := []bool{false, false, true, true, false, false, false, true}
+	var entry LogEntry
+	for _, v := range vals {
+		if e, done := lg.TickValue(v); done {
+			entry = e
+		}
+	}
+	want := Log(enc, SignalFromChanges(8, 2, 4, 7))
+	if !entry.Equal(want) {
+		t.Fatalf("edge detection: %v want %v", entry, want)
+	}
+}
+
+func TestLoggerFirstSampleNotAChange(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	lg := NewLogger(enc)
+	// Wire starts high; first sample must not count as a change.
+	var entry LogEntry
+	for i := 0; i < 8; i++ {
+		if e, done := lg.TickValue(true); done {
+			entry = e
+		}
+	}
+	if entry.K != 0 {
+		t.Fatalf("first sample counted as change: k=%d", entry.K)
+	}
+}
+
+func TestLoggerFlush(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	lg := NewLogger(enc)
+	lg.TickChange(true) // one change at cycle 0, trace-cycle incomplete
+	e, ok := lg.Flush()
+	if !ok || e.K != 1 {
+		t.Fatalf("flush: %v %v", e, ok)
+	}
+	want := Log(enc, SignalFromChanges(8, 0))
+	if !e.Equal(want) {
+		t.Fatalf("flushed %v want %v", e, want)
+	}
+	if _, ok := lg.Flush(); ok {
+		t.Error("flush on trace-cycle boundary should produce nothing")
+	}
+}
+
+func TestLogSignalTrace(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 8, 4)
+	entries, err := LogSignalTrace(enc, []int64{3, 4, 19, 47}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	if !entries[0].Equal(Log(enc, SignalFromChanges(16, 3, 4))) {
+		t.Error("entry 0")
+	}
+	if !entries[1].Equal(Log(enc, SignalFromChanges(16, 3))) {
+		t.Error("entry 1")
+	}
+	if !entries[2].Equal(Log(enc, SignalFromChanges(16, 15))) {
+		t.Error("entry 2")
+	}
+}
+
+func TestLogSignalTraceErrors(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 8, 4)
+	if _, err := LogSignalTrace(enc, nil, 17); err == nil {
+		t.Error("non-multiple length accepted")
+	}
+	if _, err := LogSignalTrace(enc, []int64{5, 5}, 32); err == nil {
+		t.Error("non-increasing changes accepted")
+	}
+	if _, err := LogSignalTrace(enc, []int64{40}, 32); err == nil {
+		t.Error("out-of-range change accepted")
+	}
+}
+
+func TestLogRateMatchesPaperCAN(t *testing.T) {
+	// Section 5.2.1: m=1000, b=24 at 5 Mbps -> 5 entries/s of 34 bits =
+	// 170 bps.
+	if KBits(1000) != 10 {
+		t.Fatalf("KBits(1000) = %d", KBits(1000))
+	}
+	if BitsPerTraceCycle(24, 1000) != 34 {
+		t.Fatalf("bits per trace-cycle %d", BitsPerTraceCycle(24, 1000))
+	}
+	if got := LogRate(24, 1000, 5e6); got != 170000 {
+		t.Fatalf("log rate %f", got)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 8, 4)
+	r := rand.New(rand.NewSource(21))
+	var entries []LogEntry
+	for i := 0; i < 40; i++ {
+		s := SignalFromVector(bitvec.FromUint(r.Uint64()&0xFFFF, 16))
+		entries = append(entries, Log(enc, s))
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, 16, 8, entries); err != nil {
+		t.Fatal(err)
+	}
+	// Size check: header 16 bytes + ceil(40*(8+5)/8) payload bytes.
+	wantPayload := (PayloadBits(16, 8, 40) + 7) / 8
+	if buf.Len() != 16+wantPayload {
+		t.Errorf("wire size %d, want %d", buf.Len(), 16+wantPayload)
+	}
+	m, b, got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 16 || b != 8 || len(got) != len(entries) {
+		t.Fatalf("header m=%d b=%d n=%d", m, b, len(got))
+	}
+	for i := range got {
+		if !got[i].Equal(entries[i]) {
+			t.Fatalf("entry %d: %v != %v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestWireRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, 16, 8, []LogEntry{{TP: bitvec.New(9), K: 0}}); err == nil {
+		t.Error("wrong TP width accepted")
+	}
+	buf.Reset()
+	if err := WriteLog(&buf, 16, 8, []LogEntry{{TP: bitvec.New(8), K: 17}}); err == nil {
+		t.Error("k > m accepted")
+	}
+	if _, _, _, err := ReadLog(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := bytes.NewBuffer(nil)
+	_ = WriteLog(bad, 16, 8, nil)
+	raw := bad.Bytes()
+	raw[0] ^= 0xFF // corrupt magic
+	if _, _, _, err := ReadLog(bytes.NewReader(raw)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestWireTruncatedPayload(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 8, 4)
+	entries := []LogEntry{Log(enc, SignalFromChanges(16, 1)), Log(enc, SignalFromChanges(16, 2))}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, 16, 8, entries); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, _, err := ReadLog(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestQuickLogLinear(t *testing.T) {
+	// Property: TP(s1 ^ s2) = TP(s1) ^ TP(s2) — logging is linear over
+	// F2 (k is not, which is exactly why k is logged separately).
+	enc, err := encoding.Incremental(12, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint16) bool {
+		va := bitvec.FromUint(uint64(a)&0xFFF, 12)
+		vb := bitvec.FromUint(uint64(b)&0xFFF, 12)
+		ea := Log(enc, SignalFromVector(va))
+		eb := Log(enc, SignalFromVector(vb))
+		exor := Log(enc, SignalFromVector(va.Xor(vb)))
+		return exor.TP.Equal(ea.TP.Xor(eb.TP))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAbstractionDeterministic(t *testing.T) {
+	enc, _ := encoding.Incremental(12, 9, 4)
+	f := func(mask uint16) bool {
+		s := SignalFromVector(bitvec.FromUint(uint64(mask)&0xFFF, 12))
+		e1 := Log(enc, s)
+		e2 := Log(enc, s)
+		return e1.Equal(e2) && e1.K == s.K()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignalAccessors(t *testing.T) {
+	s := SignalFromChanges(10, 2, 7)
+	if s.M() != 10 || s.K() != 2 {
+		t.Fatalf("m=%d k=%d", s.M(), s.K())
+	}
+	if !s.Changed(2) || s.Changed(3) {
+		t.Error("Changed wrong")
+	}
+	if got := s.String(); got != "0010000100" {
+		t.Errorf("String %q", got)
+	}
+	if cs := s.Changes(); len(cs) != 2 || cs[0] != 2 || cs[1] != 7 {
+		t.Errorf("Changes %v", cs)
+	}
+	if NewSignal(5).K() != 0 {
+		t.Error("NewSignal not quiet")
+	}
+}
+
+func TestLogPanicsOnLengthMismatch(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Log(enc, NewSignal(9))
+}

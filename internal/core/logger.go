@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/encoding"
+)
+
+// Logger is the streaming model of the timeprints aggregation-and-
+// logging hardware: it consumes one clock-cycle at a time, XORs the
+// current cycle's timestamp into the hold register whenever the traced
+// signal changes, and emits a LogEntry at each trace-cycle boundary.
+// The hardware-level (RTL) twin of this model lives in internal/hw;
+// the two are cross-checked in tests.
+type Logger struct {
+	enc   *encoding.Encoding
+	tp    bitvec.Vector
+	k     int
+	cycle int  // position within the current trace-cycle
+	prev  bool // last observed wire value, for edge detection
+	first bool // true until the first sample establishes prev
+	total int64
+
+	entries []LogEntry
+}
+
+// NewLogger returns a streaming logger over the encoding.
+func NewLogger(enc *encoding.Encoding) *Logger {
+	return &Logger{enc: enc, tp: bitvec.New(enc.B()), first: true}
+}
+
+// TickChange advances one clock-cycle with an explicit change flag:
+// changed=true means the traced signal's value changed in this cycle.
+// It returns the completed entry and true when this tick closed a
+// trace-cycle.
+func (l *Logger) TickChange(changed bool) (LogEntry, bool) {
+	if changed {
+		l.tp.XorInPlace(l.enc.Timestamp(l.cycle))
+		l.k++
+	}
+	l.cycle++
+	l.total++
+	if l.cycle == l.enc.M() {
+		e := LogEntry{TP: l.tp.Clone(), K: l.k}
+		l.entries = append(l.entries, e)
+		l.tp = bitvec.New(l.enc.B())
+		l.k = 0
+		l.cycle = 0
+		return e, true
+	}
+	return LogEntry{}, false
+}
+
+// TickValue advances one clock-cycle with the sampled wire value; the
+// logger performs the edge detection itself. The very first sample
+// establishes the reference level and never counts as a change.
+func (l *Logger) TickValue(v bool) (LogEntry, bool) {
+	changed := false
+	if l.first {
+		l.first = false
+	} else {
+		changed = v != l.prev
+	}
+	l.prev = v
+	return l.TickChange(changed)
+}
+
+// Entries returns all completed trace-cycle entries so far.
+func (l *Logger) Entries() []LogEntry {
+	out := make([]LogEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Cycles returns the total number of clock-cycles consumed.
+func (l *Logger) Cycles() int64 { return l.total }
+
+// Pending reports how many cycles of the current (incomplete)
+// trace-cycle have elapsed.
+func (l *Logger) Pending() int { return l.cycle }
+
+// Flush closes the current trace-cycle early by padding it with quiet
+// cycles, if any cycles are pending. It returns the flushed entry and
+// whether one was produced. Real hardware never flushes — trace-cycles
+// are back-to-back — but simulations that end mid-cycle use it.
+func (l *Logger) Flush() (LogEntry, bool) {
+	if l.cycle == 0 {
+		return LogEntry{}, false
+	}
+	for {
+		if e, done := l.TickChange(false); done {
+			return e, true
+		}
+	}
+}
+
+// LogSignalTrace abstracts a full multi-trace-cycle change trace:
+// changes lists absolute change cycles (0-based, strictly increasing);
+// the trace spans totalCycles clock-cycles, which must be a multiple of
+// the encoding's m. One entry per trace-cycle is returned.
+func LogSignalTrace(enc *encoding.Encoding, changes []int64, totalCycles int64) ([]LogEntry, error) {
+	m := int64(enc.M())
+	if totalCycles%m != 0 {
+		return nil, fmt.Errorf("core: trace length %d not a multiple of m=%d", totalCycles, m)
+	}
+	for i := 1; i < len(changes); i++ {
+		if changes[i] <= changes[i-1] {
+			return nil, fmt.Errorf("core: change cycles not strictly increasing at %d", i)
+		}
+	}
+	n := totalCycles / m
+	entries := make([]LogEntry, n)
+	for i := range entries {
+		entries[i] = LogEntry{TP: bitvec.New(enc.B())}
+	}
+	for _, c := range changes {
+		if c < 0 || c >= totalCycles {
+			return nil, fmt.Errorf("core: change cycle %d outside trace [0,%d)", c, totalCycles)
+		}
+		tc := c / m
+		entries[tc].TP.XorInPlace(enc.Timestamp(int(c % m)))
+		entries[tc].K++
+	}
+	return entries, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+)
+
+// The wire format of a timeprint log is what the on-chip logger streams
+// off-chip (in the paper: over a simplified USB-UART link): a small
+// header identifying (m, b), then exactly b + KBits(m) bits per
+// trace-cycle — TP first (LSB to MSB), then k — packed back-to-back
+// with no per-entry padding. This constant-rate format is the point of
+// the method: its size never depends on signal activity.
+
+const wireMagic = 0x54505231 // "TPR1"
+
+// WriteLog serializes entries produced under trace-cycle length m and
+// timeprint width b.
+func WriteLog(w io.Writer, m, b int, entries []LogEntry) error {
+	bw := bufio.NewWriter(w)
+	head := []any{uint32(wireMagic), uint32(m), uint32(b), uint32(len(entries))}
+	for _, h := range head {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	bs := newBitWriter(bw)
+	kb := KBits(m)
+	for i, e := range entries {
+		if e.TP.Width() != b {
+			return fmt.Errorf("core: entry %d timeprint width %d, want %d", i, e.TP.Width(), b)
+		}
+		if e.K < 0 || e.K > m {
+			return fmt.Errorf("core: entry %d change count %d outside [0,%d]", i, e.K, m)
+		}
+		for j := 0; j < b; j++ {
+			bs.writeBit(e.TP.Get(j))
+		}
+		for j := 0; j < kb; j++ {
+			bs.writeBit(e.K&(1<<uint(j)) != 0)
+		}
+	}
+	if err := bs.flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadLog deserializes a timeprint log, returning (m, b, entries).
+func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
+	br := bufio.NewReader(r)
+	var magic, um, ub, n uint32
+	for _, p := range []*uint32{&magic, &um, &ub, &n} {
+		if err = binary.Read(br, binary.LittleEndian, p); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	if magic != wireMagic {
+		return 0, 0, nil, fmt.Errorf("core: bad log magic %#x", magic)
+	}
+	m, b = int(um), int(ub)
+	if m <= 0 || b <= 0 || m > 1<<24 || b > 1<<20 {
+		return 0, 0, nil, fmt.Errorf("core: implausible log header m=%d b=%d", m, b)
+	}
+	if n > 1<<28 {
+		return 0, 0, nil, fmt.Errorf("core: implausible entry count %d", n)
+	}
+	bs := newBitReader(br)
+	kb := KBits(m)
+	// Entries are appended one by one — never preallocated from the
+	// untrusted header count — so truncated or hostile input fails
+	// after at most one entry's worth of allocation.
+	entries = make([]LogEntry, 0, min(int(n), 4096))
+	for i := 0; i < int(n); i++ {
+		tp := bitvec.New(b)
+		for j := 0; j < b; j++ {
+			bit, err := bs.readBit()
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("core: truncated log at entry %d: %w", i, err)
+			}
+			if bit {
+				tp.Set(j, true)
+			}
+		}
+		k := 0
+		for j := 0; j < kb; j++ {
+			bit, err := bs.readBit()
+			if err != nil {
+				return 0, 0, nil, fmt.Errorf("core: truncated log at entry %d: %w", i, err)
+			}
+			if bit {
+				k |= 1 << uint(j)
+			}
+		}
+		if k > m {
+			return 0, 0, nil, fmt.Errorf("core: entry %d decodes k=%d > m=%d", i, k, m)
+		}
+		entries = append(entries, LogEntry{TP: tp, K: k})
+	}
+	return m, b, entries, nil
+}
+
+// PayloadBits returns the exact number of payload bits n entries
+// occupy on the wire (header excluded).
+func PayloadBits(m, b, n int) int { return n * BitsPerTraceCycle(b, m) }
+
+type bitWriter struct {
+	w   io.ByteWriter
+	cur byte
+	n   uint
+}
+
+func newBitWriter(w io.ByteWriter) *bitWriter { return &bitWriter{w: w} }
+
+func (b *bitWriter) writeBit(v bool) {
+	if v {
+		b.cur |= 1 << b.n
+	}
+	b.n++
+	if b.n == 8 {
+		// Errors surface at flush; bufio.Writer retains the first error.
+		_ = b.w.WriteByte(b.cur)
+		b.cur, b.n = 0, 0
+	}
+}
+
+func (b *bitWriter) flush() error {
+	if b.n > 0 {
+		if err := b.w.WriteByte(b.cur); err != nil {
+			return err
+		}
+		b.cur, b.n = 0, 0
+	}
+	return nil
+}
+
+type bitReader struct {
+	r   io.ByteReader
+	cur byte
+	n   uint
+}
+
+func newBitReader(r io.ByteReader) *bitReader { return &bitReader{r: r} }
+
+func (b *bitReader) readBit() (bool, error) {
+	if b.n == 0 {
+		c, err := b.r.ReadByte()
+		if err != nil {
+			return false, err
+		}
+		b.cur, b.n = c, 8
+	}
+	v := b.cur&1 != 0
+	b.cur >>= 1
+	b.n--
+	return v, nil
+}

@@ -1,0 +1,222 @@
+// Package decode solves the signal reconstruction problem by
+// information-set / meet-in-the-middle syndrome decoding instead of
+// SAT. Section 4.2 observes that SR "in terms of linear algebra" is
+// the syndrome decoding problem of coding theory (Berlekamp–McEliece–
+// van Tilborg): find all weight-k x with A·x = TP. For the small
+// change counts where SR is hardest for CDCL search (k <= 4), the
+// algebraic structure admits a much faster exact algorithm:
+//
+//   - k = 0: TP must be zero.
+//   - k = 1: TP must equal some timestamp.
+//   - k = 2: hash all timestamps; for each i, TP ^ TS(i) must be a
+//     later timestamp — O(m) with a hash table.
+//   - k = 3: for each i, solve the k=2 instance on TP ^ TS(i) — O(m²).
+//   - k = 4: meet in the middle — hash all pairwise XORs (O(m²)
+//     space), then match TP ^ (pair) against the table.
+//
+// The decoder is exact, deterministic, and used as a second
+// independent oracle against the SAT reconstructor, and as the
+// baseline of the "SAT vs algebraic" ablation. It intentionally does
+// NOT support temporal-property pruning — that is the SAT encoding's
+// advantage and exactly the trade-off the ablation exposes.
+package decode
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// MaxK is the largest change count the algebraic decoder handles.
+const MaxK = 4
+
+// Decoder holds the precomputed index structures for one encoding.
+type Decoder struct {
+	enc *encoding.Encoding
+	ts  []bitvec.Vector
+
+	// single maps a timestamp's key to its clock-cycle.
+	single map[string]int
+	// pairs maps the key of TS(i)^TS(j) to the (i, j) pairs producing
+	// it. LI-4 guarantees at most one pair per key; weaker encodings
+	// may have several, all of which are tracked.
+	pairs      map[string][][2]int
+	pairsBuilt bool
+}
+
+// New builds a decoder for the encoding. The single-timestamp index is
+// built eagerly (O(m)); the pairwise index lazily on the first k >= 3
+// query (O(m²) time and space).
+func New(enc *encoding.Encoding) *Decoder {
+	d := &Decoder{
+		enc:    enc,
+		ts:     enc.Timestamps(),
+		single: make(map[string]int, enc.M()),
+		pairs:  map[string][][2]int{},
+	}
+	for i, t := range d.ts {
+		d.single[t.Key()] = i
+	}
+	return d
+}
+
+func (d *Decoder) buildPairs() {
+	if d.pairsBuilt {
+		return
+	}
+	for i := 0; i < len(d.ts); i++ {
+		for j := i + 1; j < len(d.ts); j++ {
+			key := d.ts[i].Xor(d.ts[j]).Key()
+			d.pairs[key] = append(d.pairs[key], [2]int{i, j})
+		}
+	}
+	d.pairsBuilt = true
+}
+
+// Decode returns every signal with exactly entry.K changes whose
+// timestamps XOR to entry.TP, in deterministic order. It returns an
+// error for k > MaxK.
+func (d *Decoder) Decode(entry core.LogEntry) ([]core.Signal, error) {
+	if entry.TP.Width() != d.enc.B() {
+		return nil, fmt.Errorf("decode: timeprint width %d, want %d", entry.TP.Width(), d.enc.B())
+	}
+	if entry.K < 0 || entry.K > MaxK {
+		return nil, fmt.Errorf("decode: k=%d outside [0,%d]; use the SAT reconstructor", entry.K, MaxK)
+	}
+	m := d.enc.M()
+	sets := d.changeSets(entry)
+	// Deduplicate and normalize.
+	seen := map[string]bool{}
+	var out []core.Signal
+	for _, cs := range sets {
+		s := core.SignalFromChanges(m, cs...)
+		if k := s.K(); k != entry.K {
+			continue // repeated indices collapsed: not a valid k-set
+		}
+		key := s.Vector().Key()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Vector().Key() < out[j].Vector().Key()
+	})
+	return out, nil
+}
+
+// changeSets enumerates candidate index sets (possibly with duplicates
+// or unsorted entries; Decode normalizes).
+func (d *Decoder) changeSets(entry core.LogEntry) [][]int {
+	tp := entry.TP
+	switch entry.K {
+	case 0:
+		if tp.IsZero() {
+			return [][]int{{}}
+		}
+		return nil
+	case 1:
+		if i, ok := d.single[tp.Key()]; ok {
+			return [][]int{{i}}
+		}
+		return nil
+	case 2:
+		var out [][]int
+		for i, t := range d.ts {
+			rest := tp.Xor(t)
+			if j, ok := d.single[rest.Key()]; ok && j > i {
+				out = append(out, []int{i, j})
+			}
+		}
+		return out
+	case 3:
+		d.buildPairs()
+		var out [][]int
+		for i, t := range d.ts {
+			rest := tp.Xor(t)
+			for _, p := range d.pairs[rest.Key()] {
+				if p[0] > i { // canonical order i < p0 < p1
+					out = append(out, []int{i, p[0], p[1]})
+				}
+			}
+		}
+		return out
+	case 4:
+		d.buildPairs()
+		var out [][]int
+		for i := 0; i < len(d.ts); i++ {
+			for j := i + 1; j < len(d.ts); j++ {
+				rest := tp.Xor(d.ts[i]).Xor(d.ts[j])
+				for _, p := range d.pairs[rest.Key()] {
+					// Canonical: i < j < p0 < p1 avoids duplicates.
+					if p[0] > j {
+						out = append(out, []int{i, j, p[0], p[1]})
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// Count returns the number of weight-k solutions without materializing
+// the signals.
+func (d *Decoder) Count(entry core.LogEntry) (int, error) {
+	sigs, err := d.Decode(entry)
+	if err != nil {
+		return 0, err
+	}
+	return len(sigs), nil
+}
+
+// Unique reports whether the entry has exactly one reconstruction and
+// returns it.
+func (d *Decoder) Unique(entry core.LogEntry) (core.Signal, bool, error) {
+	sigs, err := d.Decode(entry)
+	if err != nil {
+		return core.Signal{}, false, err
+	}
+	if len(sigs) != 1 {
+		return core.Signal{}, false, nil
+	}
+	return sigs[0], true, nil
+}
+
+// AmbiguityProfile counts, over every weight-k signal sampled by the
+// caller-provided list, how many reconstruct uniquely vs ambiguously —
+// the empirical view of Section 4.3's encoding trade-off.
+type AmbiguityProfile struct {
+	Total     int
+	Unique    int
+	MaxCands  int
+	MeanCands float64
+}
+
+// Profile decodes each signal's log entry and aggregates ambiguity.
+func (d *Decoder) Profile(signals []core.Signal) (AmbiguityProfile, error) {
+	var p AmbiguityProfile
+	sum := 0
+	for _, s := range signals {
+		entry := core.Log(d.enc, s)
+		n, err := d.Count(entry)
+		if err != nil {
+			return p, err
+		}
+		p.Total++
+		sum += n
+		if n == 1 {
+			p.Unique++
+		}
+		if n > p.MaxCands {
+			p.MaxCands = n
+		}
+	}
+	if p.Total > 0 {
+		p.MeanCands = float64(sum) / float64(p.Total)
+	}
+	return p, nil
+}

@@ -1,0 +1,177 @@
+package decode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/reconstruct"
+)
+
+func mustEnc(t testing.TB, m, b, d int) *encoding.Encoding {
+	t.Helper()
+	e, err := encoding.Incremental(m, b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDecodeMatchesSATAllK(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	enc := mustEnc(t, 48, 12, 4)
+	dec := New(enc)
+	for k := 0; k <= MaxK; k++ {
+		for trial := 0; trial < 10; trial++ {
+			// Random weight-k signal.
+			perm := r.Perm(48)[:k]
+			truth := core.SignalFromChanges(48, perm...)
+			entry := core.Log(enc, truth)
+
+			alg, err := dec.Decode(entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			satSigs, exhausted := rec.Enumerate(0)
+			if !exhausted {
+				t.Fatal("SAT not exhausted")
+			}
+			if len(alg) != len(satSigs) {
+				t.Fatalf("k=%d: algebraic %d vs SAT %d", k, len(alg), len(satSigs))
+			}
+			found := false
+			satSet := map[string]bool{}
+			for _, s := range satSigs {
+				satSet[s.Vector().Key()] = true
+			}
+			for _, s := range alg {
+				if !satSet[s.Vector().Key()] {
+					t.Fatalf("k=%d: algebraic solution not found by SAT", k)
+				}
+				if s.Equal(truth) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("k=%d: truth not decoded", k)
+			}
+		}
+	}
+}
+
+func TestDecodeZeroK(t *testing.T) {
+	enc := mustEnc(t, 16, 8, 4)
+	dec := New(enc)
+	// Quiet trace-cycle: exactly the empty signal.
+	sigs, err := dec.Decode(core.Log(enc, core.NewSignal(16)))
+	if err != nil || len(sigs) != 1 || sigs[0].K() != 0 {
+		t.Fatalf("quiet decode: %v %v", sigs, err)
+	}
+	// Nonzero TP with k=0: impossible.
+	sigs, err = dec.Decode(core.LogEntry{TP: bitvec.FromOnes(8, 0), K: 0})
+	if err != nil || len(sigs) != 0 {
+		t.Fatalf("nonzero TP k=0: %v %v", sigs, err)
+	}
+}
+
+func TestDecodeRejectsLargeK(t *testing.T) {
+	enc := mustEnc(t, 16, 8, 4)
+	dec := New(enc)
+	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(8), K: 5}); err == nil {
+		t.Error("k=5 accepted")
+	}
+	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(9), K: 1}); err == nil {
+		t.Error("wrong width accepted")
+	}
+}
+
+func TestLI4GivesUniqueUpToK2(t *testing.T) {
+	// With LI-4 timestamps, any weight <= 2 signal reconstructs
+	// uniquely: two distinct subsets of size <= 2 XORing equal would
+	// form a dependent set of size <= 4.
+	enc := mustEnc(t, 64, 13, 4)
+	dec := New(enc)
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j += 7 {
+			entry := core.Log(enc, core.SignalFromChanges(64, i, j))
+			s, unique, err := dec.Unique(entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !unique {
+				t.Fatalf("(%d,%d) ambiguous under LI-4", i, j)
+			}
+			if !s.Equal(core.SignalFromChanges(64, i, j)) {
+				t.Fatalf("(%d,%d) decoded wrongly", i, j)
+			}
+		}
+	}
+}
+
+func TestBinaryEncodingAmbiguous(t *testing.T) {
+	// The plain binary encoding is only LI-2: weight-2 signals often
+	// collide with other weight-2 signals (1^2 = 3 etc.).
+	enc := encoding.Binary(16)
+	dec := New(enc)
+	entry := core.Log(enc, core.SignalFromChanges(16, 0, 1)) // TS 1^2 = 3
+	sigs, err := dec.Decode(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) < 2 {
+		t.Fatalf("binary encoding should be ambiguous, got %d candidates", len(sigs))
+	}
+}
+
+func TestProfile(t *testing.T) {
+	enc := mustEnc(t, 32, 11, 4)
+	dec := New(enc)
+	r := rand.New(rand.NewSource(3))
+	var sigs []core.Signal
+	for i := 0; i < 50; i++ {
+		k := 1 + r.Intn(4)
+		sigs = append(sigs, core.SignalFromChanges(32, r.Perm(32)[:k]...))
+	}
+	p, err := dec.Profile(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 50 || p.Unique == 0 || p.MeanCands < 1 {
+		t.Fatalf("profile %+v", p)
+	}
+	// One-hot: everything unique.
+	oh := New(encoding.OneHot(16))
+	var ohSigs []core.Signal
+	for i := 0; i < 10; i++ {
+		ohSigs = append(ohSigs, core.SignalFromChanges(16, r.Perm(16)[:3]...))
+	}
+	pOH, err := oh.Profile(ohSigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOH.Unique != pOH.Total || pOH.MaxCands != 1 {
+		t.Fatalf("one-hot profile %+v", pOH)
+	}
+}
+
+func TestDecodeDeterministicOrder(t *testing.T) {
+	enc := encoding.Binary(12)
+	dec := New(enc)
+	entry := core.Log(enc, core.SignalFromChanges(12, 0, 1))
+	a, _ := dec.Decode(entry)
+	b, _ := dec.Decode(entry)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// smallRefreshConfig shrinks 5.2.2 for unit testing (m=256 instead of
+// 1024; the full geometry runs in the benchmark harness).
+func smallRefreshConfig(ambient float64) RefreshConfig {
+	return RefreshConfig{
+		M: 256, B: 20, TraceCycles: 60, AmbientC: ambient,
+		SimWaitStates: 1, Period: 100, BurstWords: 24,
+	}
+}
+
+func TestRefreshExperimentDetectsWaitStateBug(t *testing.T) {
+	res, err := RunRefresh(smallRefreshConfig(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The misconfigured simulation must be caught via k mismatches...
+	if res.KMismatchesBuggy == 0 {
+		t.Error("wait-state bug not detected: no k mismatches vs buggy sim")
+	}
+	// ...and after the fix "the number of changes k in all trace-cycles
+	// became exactly the same".
+	if res.KMismatchesFixed != 0 {
+		t.Errorf("fixed simulation still has %d k mismatches", res.KMismatchesFixed)
+	}
+}
+
+func TestRefreshExperimentDetectsAndLocalizesDelays(t *testing.T) {
+	res, err := RunRefresh(smallRefreshConfig(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Fatal("no refresh collisions occurred; experiment vacuous")
+	}
+	if len(res.TPMismatches) == 0 {
+		t.Fatal("refresh collisions left no timeprint mismatches")
+	}
+	if res.FirstMismatch < 0 {
+		t.Fatal("no first mismatch")
+	}
+	// Localization: every single-delay trace-cycle must be diagnosed
+	// uniquely and correctly against ground truth.
+	diagnosed := 0
+	for _, loc := range res.Localizations {
+		if loc.Candidates == 1 {
+			diagnosed++
+			if !loc.Verified {
+				t.Errorf("tc %d: diagnosis does not match hardware ground truth", loc.TraceCycle)
+			}
+			if len(loc.DelayedChangeCycles) == 0 {
+				t.Errorf("tc %d: no delayed change identified", loc.TraceCycle)
+			}
+		}
+	}
+	if diagnosed == 0 {
+		t.Error("no mismatch could be localized to a unique one-cycle delay")
+	}
+	t.Logf("collisions=%d tpMismatches=%v diagnosed=%d firstMismatch=%d temp=%.1f",
+		res.Collisions, res.TPMismatches, diagnosed, res.FirstMismatch, res.FinalTempC)
+}
+
+func TestRefreshSweepOnsetMovesEarlierWithTemperature(t *testing.T) {
+	// The paper: "the mismatch in timeprints started from as early as
+	// the third trace-cycle, to as late as the 28th" and "this one
+	// clock-cycle delay happens earlier if temperature is higher".
+	ambients := []float64{25, 45, 65, 85}
+	results, err := RefreshSweep(smallRefreshConfig(0), ambients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onsets []int
+	for i, r := range results {
+		t.Logf("ambient %.0fC: first steady mismatch at trace-cycle %d (collisions %d, final temp %.1fC)",
+			ambients[i], r.FirstSteadyMismatch, r.Collisions, r.FinalTempC)
+		onsets = append(onsets, r.FirstSteadyMismatch)
+	}
+	// Collision counts must rise with temperature (the density view of
+	// the same effect).
+	for i := 1; i < len(results); i++ {
+		if results[i].Collisions < results[i-1].Collisions {
+			t.Errorf("collisions fell with temperature: %d -> %d",
+				results[i-1].Collisions, results[i].Collisions)
+		}
+	}
+	// Every temperature must eventually mismatch. The onset is a
+	// deterministic beat between the loop period and the refresh
+	// interval, so it is not strictly monotone step by step (the paper
+	// likewise reports a 3rd..28th range over reruns); require the
+	// trend: the hottest run must mismatch well before the coldest.
+	for i, o := range onsets {
+		if o < 0 {
+			t.Fatalf("ambient %.0fC: no mismatch within %d trace-cycles", ambients[i], results[i].Config.TraceCycles)
+		}
+	}
+	if onsets[len(onsets)-1] >= onsets[0] {
+		t.Errorf("hottest run (%d) did not mismatch before coldest (%d): %v",
+			onsets[len(onsets)-1], onsets[0], onsets)
+	}
+}
+
+func TestCANExperiment(t *testing.T) {
+	res, err := RunCAN(DefaultCANConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper-anchored checks: 34 bits per trace-cycle, start at cycle
+	// 823, 125-bit EngineData frame, deadline proof UNSAT. (The paper
+	// states "170 bps" from "5 timeprints per second", but a 1000-bit
+	// trace-cycle at 5 Mbps completes every 200 µs, i.e. 5000 per
+	// second — 170 kbit/s; see EXPERIMENTS.md.)
+	if res.LogRateBps != 170000 {
+		t.Errorf("log rate %.1f bps, want 170000", res.LogRateBps)
+	}
+	if res.TrueStart != 823 {
+		t.Errorf("true start %d, want 823", res.TrueStart)
+	}
+	if res.FrameBits != 125 {
+		t.Errorf("frame bits %d, want 125", res.FrameBits)
+	}
+	if len(res.WholeOffsets) != 1 || res.WholeOffsets[0] != 823 {
+		t.Errorf("whole reconstruction offsets %v, want [823]", res.WholeOffsets)
+	}
+	if len(res.WindowOffsets) != 1 || res.WindowOffsets[0] != 823 {
+		t.Errorf("window reconstruction offsets %v, want [823]", res.WindowOffsets)
+	}
+	if res.DeadlineStatus != sat.Unsat {
+		t.Errorf("deadline proof %v, want UNSAT", res.DeadlineStatus)
+	}
+	// The reconstruction carries the full message: the decoder recovers
+	// EngineData(100) with its 8-byte payload from the change instants.
+	if res.DecodedID != 100 {
+		t.Errorf("decoded id %d, want 100", res.DecodedID)
+	}
+	if len(res.DecodedData) != 8 || res.DecodedData[2] != 0x19 {
+		t.Errorf("decoded payload %x", res.DecodedData)
+	}
+	// The message ends after the deadline: 823 + 125 = 948 > 900.
+	if res.TrueStart+res.FrameBits <= res.Config.DeadlineCycle {
+		t.Error("scenario broken: message ends before deadline")
+	}
+	// Windowed reconstruction must not be slower than whole-cycle by
+	// more than noise; the paper reports it an order of magnitude
+	// faster. Only sanity-check the direction on this small instance.
+	t.Logf("whole=%v window=%v deadline=%v k=%d", res.WholeDuration, res.WindowDuration, res.DeadlineDuration, res.Entry.K)
+	// The software log resembles the paper's listing.
+	if len(res.SoftwareLog) == 0 {
+		t.Fatal("empty software log")
+	}
+	found := false
+	for _, r := range res.SoftwareLog {
+		if r.Name == "EngineData" && r.Bits == 125 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EngineData(125 bits) not in software log")
+	}
+}

@@ -1,0 +1,153 @@
+// Package hw is the RTL model of the timeprints
+// aggregation-and-logging hardware of Section 5.2.2: a change detector
+// on a traced bus, a b-bit XOR hold register fed from a timestamp ROM,
+// a change counter, and a trace-cycle control counter that emits one
+// (TP, k) record every m cycles and hands its bits to a UART
+// transmitter. The pure-software twin of this block is
+// core.Logger; the two are cross-checked in tests, which is exactly
+// the hardware-vs-simulation comparison the experiment performs.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/rtl"
+)
+
+// AggLog is the aggregation/logging hardware attached to a traced
+// wire. It implements rtl.Probe (it samples committed wire values
+// after each clock edge, like a register bank clocked by the same
+// edge).
+type AggLog struct {
+	enc    *encoding.Encoding
+	traced *rtl.Wire
+
+	// Registers.
+	hold  bitvec.Vector // XOR hold register (b bits)
+	k     int           // change counter
+	phase int           // cycle counter within the trace-cycle
+	prev  uint64        // previous traced value (change detector)
+	first bool
+
+	entries []core.LogEntry
+	sink    func(core.LogEntry) // optional: push to the UART packer
+}
+
+// NewAggLog attaches the logger to a traced wire. The traced "signal"
+// in the paper's sense changes whenever the wire's committed value
+// changes between consecutive cycles (for a multi-bit wire such as
+// HADDR, any bit difference is a change).
+func NewAggLog(enc *encoding.Encoding, traced *rtl.Wire) *AggLog {
+	return &AggLog{
+		enc:    enc,
+		traced: traced,
+		hold:   bitvec.New(enc.B()),
+		first:  true,
+	}
+}
+
+// SetSink registers a callback receiving each completed entry (the
+// UART path).
+func (a *AggLog) SetSink(fn func(core.LogEntry)) { a.sink = fn }
+
+// Observe implements rtl.Probe: one call per clock edge.
+func (a *AggLog) Observe(cycle int64) {
+	v := a.traced.Get()
+	changed := false
+	if a.first {
+		a.first = false
+	} else {
+		changed = v != a.prev
+	}
+	a.prev = v
+
+	if changed {
+		a.hold.XorInPlace(a.enc.Timestamp(a.phase))
+		a.k++
+	}
+	a.phase++
+	if a.phase == a.enc.M() {
+		e := core.LogEntry{TP: a.hold.Clone(), K: a.k}
+		a.entries = append(a.entries, e)
+		if a.sink != nil {
+			a.sink(e)
+		}
+		a.hold = bitvec.New(a.enc.B())
+		a.k = 0
+		a.phase = 0
+	}
+}
+
+// Entries returns the completed trace-cycle records.
+func (a *AggLog) Entries() []core.LogEntry {
+	out := make([]core.LogEntry, len(a.entries))
+	copy(out, a.entries)
+	return out
+}
+
+// Phase returns the position within the current trace-cycle.
+func (a *AggLog) Phase() int { return a.phase }
+
+// EntryPacker packs log entries into bytes in the core wire-payload
+// layout (b TP bits then KBits(m) counter bits, LSB first, no
+// padding) and feeds them to a byte sink such as a UART transmitter.
+type EntryPacker struct {
+	m, b    int
+	sink    func(byte) bool
+	cur     byte
+	nbits   uint
+	packed  int64
+	dropped int64
+}
+
+// NewEntryPacker creates a packer delivering bytes to sink; sink
+// returns false when it cannot accept a byte (FIFO overflow), which is
+// counted.
+func NewEntryPacker(m, b int, sink func(byte) bool) *EntryPacker {
+	return &EntryPacker{m: m, b: b, sink: sink}
+}
+
+// Push packs one entry.
+func (p *EntryPacker) Push(e core.LogEntry) error {
+	if e.TP.Width() != p.b {
+		return fmt.Errorf("hw: entry width %d, want %d", e.TP.Width(), p.b)
+	}
+	for j := 0; j < p.b; j++ {
+		p.bit(e.TP.Get(j))
+	}
+	kb := core.KBits(p.m)
+	for j := 0; j < kb; j++ {
+		p.bit(e.K&(1<<uint(j)) != 0)
+	}
+	p.packed++
+	return nil
+}
+
+func (p *EntryPacker) bit(v bool) {
+	if v {
+		p.cur |= 1 << p.nbits
+	}
+	p.nbits++
+	if p.nbits == 8 {
+		if !p.sink(p.cur) {
+			p.dropped++
+		}
+		p.cur, p.nbits = 0, 0
+	}
+}
+
+// Flush pads the current byte with zeros and emits it.
+func (p *EntryPacker) Flush() {
+	if p.nbits > 0 {
+		if !p.sink(p.cur) {
+			p.dropped++
+		}
+		p.cur, p.nbits = 0, 0
+	}
+}
+
+// Dropped reports bytes lost to back-pressure.
+func (p *EntryPacker) Dropped() int64 { return p.dropped }

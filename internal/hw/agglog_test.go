@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/rtl"
+)
+
+func TestAggLogMatchesSoftwareLogger(t *testing.T) {
+	// The RTL agg-log and the software model must produce identical
+	// entries for the same wire activity — the hardware/simulation
+	// equivalence the experiment depends on.
+	enc, err := encoding.Incremental(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := rtl.NewSimulator()
+	w := sim.Wire("traced", 32)
+	agg := NewAggLog(enc, w)
+	sim.AddProbe(agg)
+
+	sw := core.NewLogger(enc)
+	r := rand.New(rand.NewSource(8))
+	val := uint64(0)
+	prev := uint64(0)
+	first := true
+	for i := 0; i < 16*20; i++ {
+		if r.Intn(4) == 0 {
+			val = uint64(r.Intn(1000))
+		}
+		w.Set(val)
+		sim.Step()
+		// Mirror what the hardware sees: the committed value.
+		cur := w.Get()
+		changed := false
+		if first {
+			first = false
+		} else {
+			changed = cur != prev
+		}
+		prev = cur
+		sw.TickChange(changed)
+	}
+	hwEntries := agg.Entries()
+	swEntries := sw.Entries()
+	if len(hwEntries) != 20 || len(swEntries) != 20 {
+		t.Fatalf("entries hw=%d sw=%d", len(hwEntries), len(swEntries))
+	}
+	for i := range hwEntries {
+		if !hwEntries[i].Equal(swEntries[i]) {
+			t.Fatalf("entry %d: hw %v != sw %v", i, hwEntries[i], swEntries[i])
+		}
+	}
+}
+
+func TestAggLogConstantWireLogsQuiet(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	sim := rtl.NewSimulator()
+	w := sim.Wire("traced", 8)
+	w.Reset(42)
+	agg := NewAggLog(enc, w)
+	sim.AddProbe(agg)
+	sim.Run(24)
+	for i, e := range agg.Entries() {
+		if e.K != 0 || !e.TP.IsZero() {
+			t.Fatalf("entry %d not quiet: %v", i, e)
+		}
+	}
+	if agg.Phase() != 0 {
+		t.Error("phase not at boundary")
+	}
+}
+
+func TestAggLogSink(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	sim := rtl.NewSimulator()
+	w := sim.Wire("traced", 8)
+	agg := NewAggLog(enc, w)
+	var got []core.LogEntry
+	agg.SetSink(func(e core.LogEntry) { got = append(got, e) })
+	sim.AddProbe(agg)
+	sim.Run(16)
+	if len(got) != 2 {
+		t.Fatalf("sink received %d entries", len(got))
+	}
+}
+
+func TestEntryPackerMatchesWireFormat(t *testing.T) {
+	// Packing entries through the hardware packer must produce exactly
+	// the payload bytes of core.WriteLog.
+	enc, _ := encoding.Incremental(16, 8, 4)
+	r := rand.New(rand.NewSource(5))
+	var entries []core.LogEntry
+	for i := 0; i < 10; i++ {
+		var cs []int
+		for j := 0; j < 16; j++ {
+			if r.Intn(4) == 0 {
+				cs = append(cs, j)
+			}
+		}
+		entries = append(entries, core.Log(enc, core.SignalFromChanges(16, cs...)))
+	}
+
+	var hwBytes []byte
+	p := NewEntryPacker(16, 8, func(b byte) bool { hwBytes = append(hwBytes, b); return true })
+	for _, e := range entries {
+		if err := p.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+
+	var buf bytes.Buffer
+	if err := core.WriteLog(&buf, 16, 8, entries); err != nil {
+		t.Fatal(err)
+	}
+	want := buf.Bytes()[16:] // skip header
+	if !bytes.Equal(hwBytes, want) {
+		t.Fatalf("packer bytes differ:\nhw   %x\nwant %x", hwBytes, want)
+	}
+}
+
+func TestEntryPackerRejectsWrongWidth(t *testing.T) {
+	p := NewEntryPacker(16, 8, func(byte) bool { return true })
+	enc, _ := encoding.Incremental(16, 9, 4)
+	if err := p.Push(core.Log(enc, core.NewSignal(16))); err == nil {
+		t.Error("wrong width accepted")
+	}
+}
+
+func TestEntryPackerCountsDrops(t *testing.T) {
+	p := NewEntryPacker(16, 8, func(byte) bool { return false })
+	enc, _ := encoding.Incremental(16, 8, 4)
+	_ = p.Push(core.Log(enc, core.SignalFromChanges(16, 1)))
+	p.Flush()
+	if p.Dropped() == 0 {
+		t.Error("drops not counted")
+	}
+}

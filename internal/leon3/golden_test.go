@@ -1,0 +1,180 @@
+package leon3
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sram"
+)
+
+// golden is an untimed reference interpreter of the ISA: it executes
+// instructions functionally against a flat memory, ignoring all bus
+// timing. Differential testing against the cycle-accurate core
+// catches semantic drift between the two.
+type golden struct {
+	regs [16]uint32
+	mem  map[uint32]uint32
+	pc   int
+}
+
+func (g *golden) run(prog []uint32, maxSteps int) bool {
+	for steps := 0; steps < maxSteps; steps++ {
+		if g.pc < 0 || g.pc >= len(prog) {
+			return true
+		}
+		ins := prog[g.pc]
+		op := int(ins >> 24)
+		rd := int(ins >> 20 & 0xF)
+		rs1 := int(ins >> 16 & 0xF)
+		imm := uint16(ins)
+		rs2 := int(imm >> 12)
+		g.pc++
+		set := func(r int, v uint32) {
+			if r != 0 {
+				g.regs[r] = v
+			}
+		}
+		switch op {
+		case OpNOP:
+		case OpLI:
+			set(rd, uint32(imm))
+		case OpLUI:
+			set(rd, uint32(imm)<<16)
+		case OpADD:
+			set(rd, g.regs[rs1]+g.regs[rs2])
+		case OpSUB:
+			set(rd, g.regs[rs1]-g.regs[rs2])
+		case OpXOR:
+			set(rd, g.regs[rs1]^g.regs[rs2])
+		case OpAND:
+			set(rd, g.regs[rs1]&g.regs[rs2])
+		case OpOR:
+			set(rd, g.regs[rs1]|g.regs[rs2])
+		case OpADDI:
+			set(rd, g.regs[rs1]+sext(imm))
+		case OpLD:
+			set(rd, g.mem[(g.regs[rs1]+sext(imm))>>2])
+		case OpST:
+			g.mem[(g.regs[rs1]+sext(imm))>>2] = g.regs[rd]
+		case OpBEQ:
+			if g.regs[rd] == g.regs[rs1] {
+				g.pc += int(int16(imm)) - 1
+			}
+		case OpBNE:
+			if g.regs[rd] != g.regs[rs1] {
+				g.pc += int(int16(imm)) - 1
+			}
+		case OpJMP:
+			g.pc += int(int16(imm)) - 1
+		case OpWFT:
+			if imm == 0 {
+				return true
+			}
+			// Untimed: WFT is a timing no-op functionally.
+		case OpHALT:
+			return true
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// randomStraightLine builds a random program of arithmetic and memory
+// operations with no control flow, ending in HALT.
+func randomStraightLine(r *rand.Rand, n int) []uint32 {
+	prog := []uint32{
+		LI(1, 0x100), // a valid base pointer
+		LI(2, uint16(r.Intn(1<<16))),
+		LI(3, uint16(r.Intn(1<<16))),
+	}
+	for i := 0; i < n; i++ {
+		rd := 2 + r.Intn(12) // keep r0 (zero) and r1 (pointer) stable
+		rs1 := r.Intn(14)
+		rs2 := r.Intn(14)
+		switch r.Intn(9) {
+		case 0:
+			prog = append(prog, ADD(rd, rs1, rs2))
+		case 1:
+			prog = append(prog, SUB(rd, rs1, rs2))
+		case 2:
+			prog = append(prog, XOR(rd, rs1, rs2))
+		case 3:
+			prog = append(prog, AND(rd, rs1, rs2))
+		case 4:
+			prog = append(prog, OR(rd, rs1, rs2))
+		case 5:
+			prog = append(prog, ADDI(rd, rs1, int16(r.Intn(64)-32)))
+		case 6:
+			prog = append(prog, LUI(rd, uint16(r.Intn(1<<16))))
+		case 7:
+			// Word-aligned offset within a small window.
+			prog = append(prog, LD(rd, 1, int16(4*r.Intn(16))))
+		default:
+			prog = append(prog, ST(rd, 1, int16(4*r.Intn(16))))
+		}
+	}
+	return append(prog, HALT())
+}
+
+func TestCoreAgainstGoldenModel(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		prog := randomStraightLine(r, 10+r.Intn(40))
+
+		g := &golden{mem: map[uint32]uint32{}}
+		if !g.run(prog, 10000) {
+			t.Fatal("golden model did not halt")
+		}
+
+		sim, cpu, mem, _ := buildSystem(t, prog, sram.Config{WaitStates: 1 + r.Intn(3), CoolingPerCycle: 1})
+		runUntilHalt(t, sim, cpu, 100000)
+
+		for reg := 0; reg < 16; reg++ {
+			if cpu.Reg(reg) != g.regs[reg] {
+				t.Fatalf("trial %d: r%d = %#x, golden %#x", trial, reg, cpu.Reg(reg), g.regs[reg])
+			}
+		}
+		for word, v := range g.mem {
+			if got := mem.Peek(word << 2); got != v {
+				t.Fatalf("trial %d: mem[%#x] = %#x, golden %#x", trial, word<<2, got, v)
+			}
+		}
+	}
+}
+
+func TestCoreBranchesAgainstGolden(t *testing.T) {
+	// Directed program with loops and both branch polarities.
+	prog := []uint32{
+		LI(1, 0),      // acc
+		LI(2, 0),      // i
+		LI(3, 9),      // limit
+		LI(4, 0x200),  // pointer
+		ADD(1, 1, 2),  // 4: loop body
+		ST(1, 4, 0),   // 5
+		ADDI(4, 4, 4), // 6
+		ADDI(2, 2, 1), // 7
+		BNE(2, 3, -4), // 8 -> 4
+		BEQ(2, 3, 2),  // 9: taken -> 11
+		LI(5, 0xDEAD), // 10: skipped
+		LD(6, 4, -4),  // 11: reload last store
+		HALT(),
+	}
+	g := &golden{mem: map[uint32]uint32{}}
+	if !g.run(prog, 10000) {
+		t.Fatal("golden did not halt")
+	}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 100000)
+	for reg := 0; reg < 16; reg++ {
+		if cpu.Reg(reg) != g.regs[reg] {
+			t.Fatalf("r%d = %#x, golden %#x", reg, cpu.Reg(reg), g.regs[reg])
+		}
+	}
+	if cpu.Reg(5) == 0xDEAD {
+		t.Fatal("skipped instruction executed")
+	}
+	if cpu.Reg(6) != 36 { // 0+1+...+8 = 36
+		t.Fatalf("r6 = %d", cpu.Reg(6))
+	}
+}

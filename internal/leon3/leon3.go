@@ -1,0 +1,236 @@
+// Package leon3 implements a small in-order 32-bit load/store core in
+// the role the LEON3 plays in experiment 5.2.2: it executes a program
+// image and generates data traffic on the AHB bus, whose address
+// signals are the traced wire. The core is deliberately not a SPARC —
+// the experiment needs realistic, deterministic bus activity, not
+// binary compatibility — but it keeps the structural properties that
+// matter: one instruction per cycle from an internal instruction
+// memory (an always-hitting I-cache), blocking data accesses over AHB,
+// and a timer-wait instruction modelling the timer-driven control
+// loops of embedded software (which is what lets a one-cycle memory
+// stall be absorbed before the next loop iteration instead of shifting
+// the whole execution).
+package leon3
+
+import (
+	"fmt"
+
+	"repro/internal/ahb"
+)
+
+// Opcodes of the mini ISA.
+const (
+	OpNOP  = iota // no operation
+	OpLI          // rd = imm16 (zero-extended)
+	OpLUI         // rd = imm16 << 16
+	OpADD         // rd = rs1 + rs2
+	OpSUB         // rd = rs1 - rs2
+	OpXOR         // rd = rs1 ^ rs2
+	OpAND         // rd = rs1 & rs2
+	OpOR          // rd = rs1 | rs2
+	OpADDI        // rd = rs1 + sext(imm16)
+	OpLD          // rd = mem32[rs1 + sext(imm16)]
+	OpST          // mem32[rs1 + sext(imm16)] = rd
+	OpBEQ         // if rd == rs1: pc += sext(imm16)
+	OpBNE         // if rd != rs1: pc += sext(imm16)
+	OpJMP         // pc += sext(imm16)
+	OpWFT         // wait until the next cycle-count multiple of imm16
+	OpHALT        // stop
+	opMax
+)
+
+// Instruction word layout: op[31:24] rd[23:20] rs1[19:16] imm[15:0]
+// (rs2 for register ops lives in imm[15:12]).
+
+// Enc packs an instruction word.
+func Enc(op, rd, rs1 int, imm uint16) uint32 {
+	if op < 0 || op >= opMax || rd < 0 || rd > 15 || rs1 < 0 || rs1 > 15 {
+		panic(fmt.Sprintf("leon3: bad instruction fields op=%d rd=%d rs1=%d", op, rd, rs1))
+	}
+	return uint32(op)<<24 | uint32(rd)<<20 | uint32(rs1)<<16 | uint32(imm)
+}
+
+// Convenience assemblers.
+func NOP() uint32                        { return Enc(OpNOP, 0, 0, 0) }
+func LI(rd int, imm uint16) uint32       { return Enc(OpLI, rd, 0, imm) }
+func LUI(rd int, imm uint16) uint32      { return Enc(OpLUI, rd, 0, imm) }
+func ADD(rd, rs1, rs2 int) uint32        { return Enc(OpADD, rd, rs1, uint16(rs2)<<12) }
+func SUB(rd, rs1, rs2 int) uint32        { return Enc(OpSUB, rd, rs1, uint16(rs2)<<12) }
+func XOR(rd, rs1, rs2 int) uint32        { return Enc(OpXOR, rd, rs1, uint16(rs2)<<12) }
+func AND(rd, rs1, rs2 int) uint32        { return Enc(OpAND, rd, rs1, uint16(rs2)<<12) }
+func OR(rd, rs1, rs2 int) uint32         { return Enc(OpOR, rd, rs1, uint16(rs2)<<12) }
+func ADDI(rd, rs1 int, imm int16) uint32 { return Enc(OpADDI, rd, rs1, uint16(imm)) }
+func LD(rd, rs1 int, imm int16) uint32   { return Enc(OpLD, rd, rs1, uint16(imm)) }
+func ST(rs, rs1 int, imm int16) uint32   { return Enc(OpST, rs, rs1, uint16(imm)) }
+func BEQ(ra, rb int, off int16) uint32   { return Enc(OpBEQ, ra, rb, uint16(off)) }
+func BNE(ra, rb int, off int16) uint32   { return Enc(OpBNE, ra, rb, uint16(off)) }
+func JMP(off int16) uint32               { return Enc(OpJMP, 0, 0, uint16(off)) }
+func WFT(period uint16) uint32           { return Enc(OpWFT, 0, 0, period) }
+func HALT() uint32                       { return Enc(OpHALT, 0, 0, 0) }
+
+// Core states.
+const (
+	stExec     = iota
+	stMemIssue // memory request driven, waiting for HREADY to drop
+	stMemWait  // waiting for HREADY to rise
+	stMemDone  // drive IDLE, resume next cycle
+	stWait     // WFT
+	stHalted
+)
+
+// Core is the processor. It implements rtl.Component.
+type Core struct {
+	ch   *ahb.Channel
+	prog []uint32
+
+	pc     int
+	regs   [16]uint32
+	state  int
+	guard  int
+	memRd  int // LD destination register, -1 for stores
+	waitTo int64
+
+	retired int64
+	loads   int64
+	stores  int64
+}
+
+// New creates a core executing prog over the channel. Register 0 is
+// hardwired to zero.
+func New(ch *ahb.Channel, prog []uint32) *Core {
+	return &Core{ch: ch, prog: prog}
+}
+
+// Halted reports whether the core has executed HALT or run off the
+// program.
+func (c *Core) Halted() bool { return c.state == stHalted }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Loads and Stores return completed data-access counts.
+func (c *Core) Loads() int64  { return c.loads }
+func (c *Core) Stores() int64 { return c.stores }
+
+// Reg returns register r's value (test introspection).
+func (c *Core) Reg(r int) uint32 { return c.regs[r] }
+
+// PC returns the current program counter.
+func (c *Core) PC() int { return c.pc }
+
+func sext(imm uint16) uint32 { return uint32(int32(int16(imm))) }
+
+// Eval implements rtl.Component.
+func (c *Core) Eval(cycle int64) {
+	switch c.state {
+	case stHalted:
+		return
+	case stWait:
+		if cycle >= c.waitTo {
+			c.state = stExec
+			c.exec(cycle)
+		}
+	case stMemIssue:
+		// The request commits one edge after it was driven and the
+		// decoder's HREADY drop one edge after that; ignore the stale
+		// high HREADY until then.
+		c.guard--
+		if c.guard <= 0 {
+			c.state = stMemWait
+		}
+	case stMemWait:
+		if c.ch.HREADY.GetBool() {
+			if c.memRd >= 0 {
+				c.setReg(c.memRd, uint32(c.ch.HRDATA.Get()))
+				c.loads++
+			} else {
+				c.stores++
+			}
+			c.ch.HTRANS.Set(ahb.TransIdle)
+			c.state = stMemDone
+		}
+	case stMemDone:
+		c.state = stExec
+		c.exec(cycle)
+	case stExec:
+		c.exec(cycle)
+	}
+}
+
+func (c *Core) setReg(r int, v uint32) {
+	if r != 0 {
+		c.regs[r] = v
+	}
+}
+
+// exec executes the instruction at pc.
+func (c *Core) exec(cycle int64) {
+	if c.pc < 0 || c.pc >= len(c.prog) {
+		c.state = stHalted
+		return
+	}
+	ins := c.prog[c.pc]
+	op := int(ins >> 24)
+	rd := int(ins >> 20 & 0xF)
+	rs1 := int(ins >> 16 & 0xF)
+	imm := uint16(ins)
+	rs2 := int(imm >> 12)
+	c.pc++
+	c.retired++
+
+	switch op {
+	case OpNOP:
+	case OpLI:
+		c.setReg(rd, uint32(imm))
+	case OpLUI:
+		c.setReg(rd, uint32(imm)<<16)
+	case OpADD:
+		c.setReg(rd, c.regs[rs1]+c.regs[rs2])
+	case OpSUB:
+		c.setReg(rd, c.regs[rs1]-c.regs[rs2])
+	case OpXOR:
+		c.setReg(rd, c.regs[rs1]^c.regs[rs2])
+	case OpAND:
+		c.setReg(rd, c.regs[rs1]&c.regs[rs2])
+	case OpOR:
+		c.setReg(rd, c.regs[rs1]|c.regs[rs2])
+	case OpADDI:
+		c.setReg(rd, c.regs[rs1]+sext(imm))
+	case OpLD, OpST:
+		addr := c.regs[rs1] + sext(imm)
+		c.ch.HADDR.Set(uint64(addr))
+		c.ch.HTRANS.Set(ahb.TransNonSeq)
+		if op == OpST {
+			c.ch.HWRITE.Set(1)
+			c.ch.HWDATA.Set(uint64(c.regs[rd]))
+			c.memRd = -1
+		} else {
+			c.ch.HWRITE.Set(0)
+			c.memRd = rd
+		}
+		c.state = stMemIssue
+		c.guard = 2
+	case OpBEQ:
+		if c.regs[rd] == c.regs[rs1] {
+			c.pc += int(int16(imm)) - 1
+		}
+	case OpBNE:
+		if c.regs[rd] != c.regs[rs1] {
+			c.pc += int(int16(imm)) - 1
+		}
+	case OpJMP:
+		c.pc += int(int16(imm)) - 1
+	case OpWFT:
+		p := int64(imm)
+		if p <= 0 {
+			c.state = stHalted
+			return
+		}
+		c.waitTo = (cycle/p + 1) * p
+		c.state = stWait
+	case OpHALT:
+		c.state = stHalted
+	default:
+		c.state = stHalted
+	}
+}

@@ -1,0 +1,261 @@
+package leon3
+
+import (
+	"testing"
+
+	"repro/internal/ahb"
+	"repro/internal/rtl"
+	"repro/internal/sram"
+)
+
+// buildSystem wires a core to an SRAM over AHB for ISA tests.
+func buildSystem(t *testing.T, prog []uint32, memCfg sram.Config) (*rtl.Simulator, *Core, *sram.Model, *ahb.Recorder) {
+	t.Helper()
+	sim := rtl.NewSimulator()
+	ch := ahb.NewChannel(sim, "ahb")
+	mem, err := sram.New(memCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ahb.NewDecoder(ch, []ahb.Region{{Base: 0, Size: 1 << 20, Slave: mem, Name: "sram"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(ch, prog)
+	rec := ahb.NewRecorder(ch)
+	sim.Add(cpu)
+	sim.Add(dec)
+	sim.Add(mem)
+	sim.AddProbe(rec)
+	return sim, cpu, mem, rec
+}
+
+func idealMem() sram.Config {
+	return sram.Config{WaitStates: 1, CoolingPerCycle: 1}
+}
+
+func runUntilHalt(t *testing.T, sim *rtl.Simulator, cpu *Core, max int64) {
+	t.Helper()
+	for i := int64(0); i < max; i++ {
+		if cpu.Halted() {
+			return
+		}
+		sim.Step()
+	}
+	t.Fatalf("core did not halt within %d cycles (pc=%d)", max, cpu.PC())
+}
+
+func TestArithmetic(t *testing.T) {
+	prog := []uint32{
+		LI(1, 10),
+		LI(2, 3),
+		ADD(3, 1, 2),   // 13
+		SUB(4, 1, 2),   // 7
+		XOR(5, 1, 2),   // 9
+		AND(6, 1, 2),   // 2
+		OR(7, 1, 2),    // 11
+		ADDI(8, 1, -4), // 6
+		LUI(9, 2),      // 0x20000
+		HALT(),
+	}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 100)
+	for r, want := range map[int]uint32{3: 13, 4: 7, 5: 9, 6: 2, 7: 11, 8: 6, 9: 0x20000} {
+		if got := cpu.Reg(r); got != want {
+			t.Errorf("r%d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestRegisterZeroHardwired(t *testing.T) {
+	prog := []uint32{LI(0, 42), ADDI(1, 0, 7), HALT()}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 50)
+	if cpu.Reg(0) != 0 {
+		t.Error("r0 written")
+	}
+	if cpu.Reg(1) != 7 {
+		t.Error("r0 not read as zero")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	prog := []uint32{
+		LI(1, 0x100),
+		LI(2, 0xBEEF),
+		ST(2, 1, 0),
+		LD(3, 1, 0),
+		ST(3, 1, 4),
+		HALT(),
+	}
+	sim, cpu, mem, rec := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 200)
+	if cpu.Reg(3) != 0xBEEF {
+		t.Fatalf("loaded %#x", cpu.Reg(3))
+	}
+	if mem.Peek(0x104) != 0xBEEF {
+		t.Fatal("store-through failed")
+	}
+	txs := rec.Transfers()
+	if len(txs) != 3 {
+		t.Fatalf("%d transfers", len(txs))
+	}
+	if !txs[0].Write || txs[1].Write || !txs[2].Write {
+		t.Error("transfer directions wrong")
+	}
+	if txs[1].Data != 0xBEEF {
+		t.Error("read data not recorded")
+	}
+	if cpu.Loads() != 1 || cpu.Stores() != 2 {
+		t.Errorf("loads=%d stores=%d", cpu.Loads(), cpu.Stores())
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..5 with a BNE loop.
+	prog := []uint32{
+		LI(1, 0),      // sum
+		LI(2, 1),      // i
+		LI(3, 6),      // limit
+		ADD(1, 1, 2),  // 3: loop
+		ADDI(2, 2, 1), // 4
+		BNE(2, 3, -2), // 5: -> 3
+		HALT(),
+	}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 100)
+	if cpu.Reg(1) != 15 {
+		t.Fatalf("sum = %d", cpu.Reg(1))
+	}
+}
+
+func TestBEQTaken(t *testing.T) {
+	prog := []uint32{
+		LI(1, 5),
+		LI(2, 5),
+		BEQ(1, 2, 3), // skip the next two
+		LI(3, 111),
+		HALT(),
+		LI(3, 222), // 5: branch target
+		HALT(),
+	}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 50)
+	if cpu.Reg(3) != 222 {
+		t.Fatalf("r3 = %d", cpu.Reg(3))
+	}
+}
+
+func TestJMP(t *testing.T) {
+	prog := []uint32{
+		JMP(2),   // -> 2
+		HALT(),   // skipped
+		LI(1, 9), // 2
+		HALT(),
+	}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 50)
+	if cpu.Reg(1) != 9 {
+		t.Fatal("JMP not taken")
+	}
+}
+
+func TestWFTAnchorsExecution(t *testing.T) {
+	// Two runs with different pre-WFT delays must issue the post-WFT
+	// load at the same absolute cycle.
+	issueCycle := func(preNops int) int64 {
+		prog := []uint32{}
+		for i := 0; i < preNops; i++ {
+			prog = append(prog, NOP())
+		}
+		prog = append(prog, WFT(32), LD(1, 0, 0x100), HALT())
+		sim, cpu, _, rec := buildSystem(t, prog, idealMem())
+		runUntilHalt(t, sim, cpu, 500)
+		txs := rec.Transfers()
+		if len(txs) != 1 {
+			t.Fatalf("%d transfers", len(txs))
+		}
+		return txs[0].Cycle
+	}
+	a := issueCycle(1)
+	b := issueCycle(7)
+	if a != b {
+		t.Fatalf("WFT did not anchor: %d vs %d", a, b)
+	}
+}
+
+func TestWFTZeroHalts(t *testing.T) {
+	prog := []uint32{WFT(0), LI(1, 1), HALT()}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 50)
+	if cpu.Reg(1) != 0 {
+		t.Fatal("WFT(0) should halt")
+	}
+}
+
+func TestRunOffEndHalts(t *testing.T) {
+	prog := []uint32{NOP()}
+	sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+	runUntilHalt(t, sim, cpu, 10)
+}
+
+func TestWaitStatesDelayCompletion(t *testing.T) {
+	delta := func(ws int) int64 {
+		cfg := idealMem()
+		cfg.WaitStates = ws
+		prog := []uint32{LD(1, 0, 0x40), HALT()}
+		sim, cpu, _, rec := buildSystem(t, prog, cfg)
+		runUntilHalt(t, sim, cpu, 200)
+		txs := rec.Transfers()
+		if len(txs) != 1 {
+			t.Fatalf("%d transfers", len(txs))
+		}
+		return txs[0].Done - txs[0].Cycle
+	}
+	d1, d3 := delta(1), delta(3)
+	if d3-d1 != 2 {
+		t.Fatalf("wait states not additive: ws=1 -> %d, ws=3 -> %d", d1, d3)
+	}
+}
+
+func TestEncPanicsOnBadFields(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Enc(OpNOP, 16, 0, 0)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() [16]uint32 {
+		prog := SensorProgramForTest()
+		sim, cpu, _, _ := buildSystem(t, prog, idealMem())
+		for i := 0; i < 3000; i++ {
+			sim.Step()
+		}
+		var regs [16]uint32
+		for r := range regs {
+			regs[r] = cpu.Reg(r)
+		}
+		return regs
+	}
+	if run() != run() {
+		t.Fatal("execution not deterministic")
+	}
+}
+
+// SensorProgramForTest is a small self-contained busy program.
+func SensorProgramForTest() []uint32 {
+	return []uint32{
+		LI(1, 0x100),
+		LI(3, 0x140),
+		WFT(64),       // 2
+		LD(7, 1, 0),   // 3
+		ST(7, 1, 4),   // 4
+		ADDI(1, 1, 8), // 5
+		BNE(1, 3, -4), // 6 -> 2
+		LI(1, 0x100),  // 7
+		JMP(-6),       // 8 -> 2
+	}
+}

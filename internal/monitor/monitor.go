@@ -1,0 +1,323 @@
+// Package monitor implements synthesizable runtime-verification
+// monitors — the "RV monitors" of the paper's Figures 1–3 that run on
+// chip next to the timeprints agg-log hardware. Each monitor is a
+// constant-state FSM over the traced signal's change events, segmented
+// into the same trace-cycles as the logger, and emits one verdict per
+// trace-cycle.
+//
+// The methodological link to timeprints (Section 2): properties whose
+// monitors report satisfaction are *verified* for that trace-cycle and
+// may be encoded into the reconstruction SAT query to prune the search
+// space — Verdicts.Constraints does exactly that.
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/properties"
+	"repro/internal/reconstruct"
+	"repro/internal/rtl"
+)
+
+// FSM is an online checker with constant state: it consumes one
+// change-event flag per clock-cycle and produces a verdict at the
+// trace-cycle boundary, after which it must be reset.
+type FSM interface {
+	// Step consumes clock-cycle `cycle` (position within the
+	// trace-cycle) with its change flag.
+	Step(cycle int, changed bool)
+	// Finish returns the trace-cycle verdict for a trace-cycle of m
+	// clock-cycles and resets the state.
+	Finish(m int) bool
+	// Property returns the checked property (for reconstruction use).
+	Property() properties.Property
+	// String names the monitor.
+	String() string
+}
+
+// Verdict is one trace-cycle outcome.
+type Verdict struct {
+	TraceCycle int
+	Satisfied  bool
+}
+
+// Monitor drives an FSM over a change stream segmented into
+// trace-cycles of length m.
+type Monitor struct {
+	fsm      FSM
+	m        int
+	cycle    int
+	tc       int
+	verdicts []Verdict
+}
+
+// New wraps an FSM for trace-cycles of length m.
+func New(fsm FSM, m int) *Monitor {
+	if m < 1 {
+		panic(fmt.Sprintf("monitor: m=%d", m))
+	}
+	return &Monitor{fsm: fsm, m: m}
+}
+
+// Tick consumes one clock-cycle's change flag; it returns the verdict
+// and true when this tick closed a trace-cycle.
+func (mo *Monitor) Tick(changed bool) (Verdict, bool) {
+	mo.fsm.Step(mo.cycle, changed)
+	mo.cycle++
+	if mo.cycle == mo.m {
+		v := Verdict{TraceCycle: mo.tc, Satisfied: mo.fsm.Finish(mo.m)}
+		mo.verdicts = append(mo.verdicts, v)
+		mo.cycle = 0
+		mo.tc++
+		return v, true
+	}
+	return Verdict{}, false
+}
+
+// Verdicts returns all completed trace-cycle verdicts.
+func (mo *Monitor) Verdicts() []Verdict {
+	out := make([]Verdict, len(mo.verdicts))
+	copy(out, mo.verdicts)
+	return out
+}
+
+// Property exposes the monitored property.
+func (mo *Monitor) Property() properties.Property { return mo.fsm.Property() }
+
+// Constraints returns the monitored property as a reconstruction
+// constraint for trace-cycle tc if — and only if — the monitor
+// reported satisfaction there. Unverified properties must not prune.
+func (mo *Monitor) Constraints(tc int) []reconstruct.Constraint {
+	for _, v := range mo.verdicts {
+		if v.TraceCycle == tc && v.Satisfied {
+			return []reconstruct.Constraint{mo.fsm.Property()}
+		}
+	}
+	return nil
+}
+
+// --- FSM implementations ---
+
+// dkFSM counts changes before the deadline.
+type dkFSM struct {
+	p     properties.Dk
+	count int
+}
+
+// NewDk monitors "at least K changes before cycle D".
+func NewDk(d, k int) FSM { return &dkFSM{p: properties.Dk{D: d, K: k}} }
+
+func (f *dkFSM) Step(cycle int, changed bool) {
+	if changed && cycle < f.p.D {
+		f.count++
+	}
+}
+func (f *dkFSM) Finish(m int) bool {
+	ok := f.count >= f.p.K
+	f.count = 0
+	return ok
+}
+func (f *dkFSM) Property() properties.Property { return f.p }
+func (f *dkFSM) String() string                { return "monitor:" + f.p.String() }
+
+// minGapFSM tracks the distance since the previous change.
+type minGapFSM struct {
+	p        properties.MinGap
+	last     int
+	haveLast bool
+	violated bool
+}
+
+// NewMinGap monitors "consecutive changes at least Gap cycles apart".
+func NewMinGap(gap int) FSM { return &minGapFSM{p: properties.MinGap{Gap: gap}} }
+
+func (f *minGapFSM) Step(cycle int, changed bool) {
+	if !changed {
+		return
+	}
+	if f.haveLast && cycle-f.last < f.p.Gap {
+		f.violated = true
+	}
+	f.last = cycle
+	f.haveLast = true
+}
+func (f *minGapFSM) Finish(m int) bool {
+	ok := !f.violated
+	*f = minGapFSM{p: f.p}
+	return ok
+}
+func (f *minGapFSM) Property() properties.Property { return f.p }
+func (f *minGapFSM) String() string                { return "monitor:" + f.p.String() }
+
+// windowFSM flags changes outside [Lo, Hi).
+type windowFSM struct {
+	p        properties.Window
+	violated bool
+}
+
+// NewWindow monitors "all changes within [lo, hi)".
+func NewWindow(lo, hi int) FSM { return &windowFSM{p: properties.Window{Lo: lo, Hi: hi}} }
+
+func (f *windowFSM) Step(cycle int, changed bool) {
+	if changed && (cycle < f.p.Lo || cycle >= f.p.Hi) {
+		f.violated = true
+	}
+}
+func (f *windowFSM) Finish(m int) bool {
+	ok := !f.violated
+	f.violated = false
+	return ok
+}
+func (f *windowFSM) Property() properties.Property { return f.p }
+func (f *windowFSM) String() string                { return "monitor:" + f.p.String() }
+
+// pairedFSM tracks run lengths of consecutive changes.
+type pairedFSM struct {
+	run      int
+	violated bool
+}
+
+// NewPairedChanges monitors the Section 3.3 paired-changes shape.
+func NewPairedChanges() FSM { return &pairedFSM{} }
+
+func (f *pairedFSM) Step(cycle int, changed bool) {
+	if changed {
+		f.run++
+		if f.run > 2 {
+			f.violated = true
+		}
+		return
+	}
+	if f.run == 1 {
+		f.violated = true // isolated change
+	}
+	f.run = 0
+}
+func (f *pairedFSM) Finish(m int) bool {
+	if f.run == 1 {
+		f.violated = true // trace-cycle ended on an isolated change
+	}
+	ok := !f.violated
+	*f = pairedFSM{}
+	return ok
+}
+func (f *pairedFSM) Property() properties.Property { return properties.PairedChanges{} }
+func (f *pairedFSM) String() string                { return "monitor:PairedChanges" }
+
+// periodicFSM checks change phases.
+type periodicFSM struct {
+	p        properties.Periodic
+	violated bool
+}
+
+// NewPeriodic monitors "changes only within Jitter of Period grid".
+func NewPeriodic(period, jitter int) FSM {
+	return &periodicFSM{p: properties.Periodic{Period: period, Jitter: jitter}}
+}
+
+func (f *periodicFSM) Step(cycle int, changed bool) {
+	if !changed {
+		return
+	}
+	q := (cycle + f.p.Period/2) / f.p.Period
+	d := cycle - q*f.p.Period
+	if d < 0 {
+		d = -d
+	}
+	if d > f.p.Jitter {
+		f.violated = true
+	}
+}
+func (f *periodicFSM) Finish(m int) bool {
+	ok := !f.violated
+	f.violated = false
+	return ok
+}
+func (f *periodicFSM) Property() properties.Property { return f.p }
+func (f *periodicFSM) String() string                { return "monitor:" + f.p.String() }
+
+// responseFSM tracks the most recent unanswered change. With L = 1
+// a single pending cycle is exact: every change both answers any open
+// window it falls into and opens its own. (For L > 1 the property's
+// overlapping windows need O(U) state; that generalization is left to
+// the offline SAT compilation, which handles any [L, U].)
+type responseFSM struct {
+	p        properties.Response
+	pending  int // cycle of the latest unanswered change, -1 none
+	violated bool
+}
+
+// NewResponse monitors "every change answered within [1, U]" with
+// window truncation at the trace-cycle end.
+func NewResponse(u int) (FSM, error) {
+	if u < 1 {
+		return nil, fmt.Errorf("monitor: response bound %d invalid", u)
+	}
+	return &responseFSM{p: properties.Response{L: 1, U: u}, pending: -1}, nil
+}
+
+func (f *responseFSM) Step(cycle int, changed bool) {
+	if f.pending >= 0 && cycle > f.pending+f.p.U {
+		f.violated = true
+		f.pending = -1
+	}
+	if changed {
+		f.pending = cycle
+	}
+}
+func (f *responseFSM) Finish(m int) bool {
+	// An unanswered change is a violation only if its full window lies
+	// inside the trace-cycle; windows extending past the end are
+	// truncated and vacuous.
+	if f.pending >= 0 && f.pending+f.p.U < m {
+		f.violated = true
+	}
+	ok := !f.violated
+	*f = responseFSM{p: f.p, pending: -1}
+	return ok
+}
+func (f *responseFSM) Property() properties.Property { return f.p }
+func (f *responseFSM) String() string                { return "monitor:" + f.p.String() }
+
+// --- RTL integration ---
+
+// Probe attaches a monitor to a wire: any committed value change is a
+// change event, exactly as the agg-log hardware sees it. It implements
+// rtl.Probe.
+type Probe struct {
+	mon   *Monitor
+	wire  *rtl.Wire
+	prev  uint64
+	first bool
+}
+
+// NewProbe wires a monitor to a traced wire.
+func NewProbe(mon *Monitor, wire *rtl.Wire) *Probe {
+	return &Probe{mon: mon, wire: wire, first: true}
+}
+
+// Observe implements rtl.Probe.
+func (p *Probe) Observe(cycle int64) {
+	v := p.wire.Get()
+	changed := false
+	if p.first {
+		p.first = false
+	} else {
+		changed = v != p.prev
+	}
+	p.prev = v
+	p.mon.Tick(changed)
+}
+
+// Monitor returns the wrapped monitor.
+func (p *Probe) Monitor() *Monitor { return p.mon }
+
+// CheckSignal runs an FSM offline over a complete trace-cycle signal —
+// the reference oracle the FSMs are validated against.
+func CheckSignal(f FSM, s core.Signal) bool {
+	for i := 0; i < s.M(); i++ {
+		f.Step(i, s.Changed(i))
+	}
+	return f.Finish(s.M())
+}

@@ -1,0 +1,145 @@
+package properties
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a property from its textual form, so command-line tools
+// can accept arbitrary verified properties. The grammar (whitespace
+// insensitive, case insensitive):
+//
+//	p2                          P2
+//	dk(D,K)                     at least K changes before cycle D
+//	paired                      PairedChanges
+//	window(LO,HI)               all changes in [LO, HI)
+//	changebefore(D)             some change before D
+//	quietbefore(D)              no change before D
+//	mingap(G)                   consecutive changes >= G apart
+//	maxgap(G)                   consecutive changes <= G apart
+//	response(L,U)               every change answered within [L, U]
+//	periodic(P,J)               changes within J of the P grid
+//	count(LO,HI,MIN,MAX)        MIN..MAX changes in [LO, HI); MAX=-1 unbounded
+//	first(LO,HI)                first change in [LO, HI)
+//	exact(C1,C2,…)              exactly these change cycles
+//
+// Several properties joined with ';' conjoin (All).
+func Parse(s string) (Property, error) {
+	parts := strings.Split(s, ";")
+	var props []Property
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parseOne(part)
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, p)
+	}
+	switch len(props) {
+	case 0:
+		return nil, fmt.Errorf("properties: empty specification %q", s)
+	case 1:
+		return props[0], nil
+	default:
+		return All(props), nil
+	}
+}
+
+func parseOne(s string) (Property, error) {
+	name := strings.ToLower(s)
+	var args []int
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("properties: missing ')' in %q", s)
+		}
+		name = strings.ToLower(strings.TrimSpace(s[:i]))
+		body := s[i+1 : len(s)-1]
+		for _, f := range strings.Split(body, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("properties: bad argument %q in %q", f, s)
+			}
+			args = append(args, v)
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("properties: %s needs %d arguments, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "p2":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return P2{}, nil
+	case "dk":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Dk{D: args[0], K: args[1]}, nil
+	case "paired":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return PairedChanges{}, nil
+	case "window":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Window{Lo: args[0], Hi: args[1]}, nil
+	case "changebefore":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return ChangeBefore{D: args[0]}, nil
+	case "quietbefore":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return QuietBefore{D: args[0]}, nil
+	case "mingap":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return MinGap{Gap: args[0]}, nil
+	case "maxgap":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return MaxGap{Gap: args[0]}, nil
+	case "response":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Response{L: args[0], U: args[1]}, nil
+	case "periodic":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Periodic{Period: args[0], Jitter: args[1]}, nil
+	case "count":
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		return CountBetween{Lo: args[0], Hi: args[1], Min: args[2], Max: args[3]}, nil
+	case "first":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return FirstChangeIn{Lo: args[0], Hi: args[1]}, nil
+	case "exact":
+		return ExactChanges{Changes: args}, nil
+	default:
+		return nil, fmt.Errorf("properties: unknown property %q", name)
+	}
+}

@@ -1,0 +1,404 @@
+// Package properties implements the temporal-property layer of Section
+// 5.1.3: properties of the traced signal that are already known to hold
+// (verified specifications, RV monitor verdicts, failure analysis) are
+// compiled into extra SAT constraints that prune the signal
+// reconstruction search space. Each property doubles as a concrete
+// predicate over signals, so reconstructed candidates can be checked
+// directly and the CNF compilation is testable against the semantics.
+//
+// The paper's named properties are provided — P2 ("two consecutive
+// change cycles appear at least once") and Dk ("at least k changes
+// before deadline D") — together with the didactic paired-changes
+// shape of Section 3.3, reconstruction windows, and the
+// delayed-variant property used to localize the one-cycle refresh
+// delays in Section 5.2.2.
+package properties
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+)
+
+// Property is a temporal property of a trace-cycle signal: it can be
+// evaluated on a concrete signal and compiled to clauses over the
+// change variables (vars[i] ⇔ "change in clock-cycle i").
+type Property interface {
+	// Holds evaluates the property on a concrete signal.
+	Holds(s core.Signal) bool
+	// Apply compiles the property into the builder; reconstruct.New
+	// calls this through its Constraint interface.
+	Apply(b *cnf.Builder, vars []int) error
+	// String names the property.
+	String() string
+}
+
+// P2 is the paper's P2: at least one adjacent pair of change cycles
+// exists (∃i: S(i) ∧ S(i+1)). A weak property — the paper shows it
+// prunes worse than Dk and can even slow solving.
+type P2 struct{}
+
+// Holds reports whether the signal has two consecutive changes.
+func (P2) Holds(s core.Signal) bool {
+	for i := 0; i+1 < s.M(); i++ {
+		if s.Changed(i) && s.Changed(i+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply introduces one auxiliary variable per adjacent pair (p_i →
+// x_i ∧ x_{i+1}) and requires some p_i to hold.
+func (P2) Apply(b *cnf.Builder, vars []int) error {
+	if len(vars) < 2 {
+		b.AddClause() // no pair can exist
+		return nil
+	}
+	pairLits := make([]int, 0, len(vars)-1)
+	for i := 0; i+1 < len(vars); i++ {
+		p := b.NewVar()
+		b.AddClause(-p, vars[i])
+		b.AddClause(-p, vars[i+1])
+		pairLits = append(pairLits, p)
+	}
+	b.AddClause(pairLits...)
+	return nil
+}
+
+func (P2) String() string { return "P2(adjacent-pair-exists)" }
+
+// Dk is the paper's Dk: at least K changes occur strictly before the
+// deadline cycle D (0-based: among cycles 0..D−1). The paper's Table 1
+// uses K = 3, D = 32.
+type Dk struct {
+	D int // deadline cycle (exclusive)
+	K int // minimum changes before the deadline
+}
+
+// Holds counts changes before the deadline.
+func (p Dk) Holds(s core.Signal) bool {
+	n := 0
+	for _, c := range s.Changes() {
+		if c < p.D {
+			n++
+		}
+	}
+	return n >= p.K
+}
+
+// Apply emits an at-least-K cardinality constraint over the pre-
+// deadline change variables.
+func (p Dk) Apply(b *cnf.Builder, vars []int) error {
+	if p.D < 0 || p.D > len(vars) {
+		return fmt.Errorf("deadline %d outside [0,%d]", p.D, len(vars))
+	}
+	b.AtLeastK(vars[:p.D], p.K)
+	return nil
+}
+
+func (p Dk) String() string { return fmt.Sprintf("Dk(>=%d before %d)", p.K, p.D) }
+
+// PairedChanges is the didactic Section 3.3 shape: every change
+// belongs to a block of exactly two consecutive change cycles (a value
+// write lasts one cycle, so the wire rises and falls back). Blocks are
+// disjoint and non-adjacent.
+type PairedChanges struct{}
+
+// Holds verifies the change-map is a union of isolated adjacent pairs.
+func (PairedChanges) Holds(s core.Signal) bool {
+	m := s.M()
+	for i := 0; i < m; {
+		if !s.Changed(i) {
+			i++
+			continue
+		}
+		// A block starts at i: needs exactly 2 ones then a zero (or end).
+		if i+1 >= m || !s.Changed(i+1) {
+			return false
+		}
+		if i+2 < m && s.Changed(i+2) {
+			return false
+		}
+		i += 3
+	}
+	return true
+}
+
+// Apply encodes the shape with two clause families: no three
+// consecutive changes, and every change has an adjacent change.
+func (PairedChanges) Apply(b *cnf.Builder, vars []int) error {
+	m := len(vars)
+	if m == 1 {
+		b.AddClause(-vars[0]) // a single cycle can never host a pair
+		return nil
+	}
+	for i := 0; i+2 < m; i++ {
+		b.AddClause(-vars[i], -vars[i+1], -vars[i+2])
+	}
+	b.AddClause(-vars[0], vars[1])
+	for i := 1; i+1 < m; i++ {
+		b.AddClause(-vars[i], vars[i-1], vars[i+1])
+	}
+	b.AddClause(-vars[m-1], vars[m-2])
+	return nil
+}
+
+func (PairedChanges) String() string { return "PairedChanges" }
+
+// Window restricts all changes to clock-cycles [Lo, Hi). The CAN
+// experiment's "actual failure time window" reconstruction uses this.
+type Window struct {
+	Lo, Hi int
+}
+
+// Holds reports whether every change lies inside the window.
+func (w Window) Holds(s core.Signal) bool {
+	for _, c := range s.Changes() {
+		if c < w.Lo || c >= w.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply forces change variables outside the window to 0.
+func (w Window) Apply(b *cnf.Builder, vars []int) error {
+	if w.Lo < 0 || w.Hi > len(vars) || w.Lo > w.Hi {
+		return fmt.Errorf("window [%d,%d) outside [0,%d]", w.Lo, w.Hi, len(vars))
+	}
+	for i, v := range vars {
+		if i < w.Lo || i >= w.Hi {
+			b.AddClause(-v)
+		}
+	}
+	return nil
+}
+
+func (w Window) String() string { return fmt.Sprintf("Window[%d,%d)", w.Lo, w.Hi) }
+
+// ChangeBefore asserts at least one change strictly before cycle D —
+// e.g. "the transmission started before the deadline". Its UNSAT
+// verdict is the paper's CAN liability proof.
+type ChangeBefore struct {
+	D int
+}
+
+// Holds reports whether some change precedes D.
+func (p ChangeBefore) Holds(s core.Signal) bool {
+	cs := s.Changes()
+	return len(cs) > 0 && cs[0] < p.D
+}
+
+// Apply emits the disjunction of the pre-deadline change variables.
+func (p ChangeBefore) Apply(b *cnf.Builder, vars []int) error {
+	if p.D <= 0 || p.D > len(vars) {
+		return fmt.Errorf("deadline %d outside (0,%d]", p.D, len(vars))
+	}
+	b.AddClause(vars[:p.D]...)
+	return nil
+}
+
+func (p ChangeBefore) String() string { return fmt.Sprintf("ChangeBefore(%d)", p.D) }
+
+// QuietBefore asserts no change strictly before cycle D (dual of
+// ChangeBefore).
+type QuietBefore struct {
+	D int
+}
+
+// Holds reports whether all changes are at or after D.
+func (p QuietBefore) Holds(s core.Signal) bool {
+	cs := s.Changes()
+	return len(cs) == 0 || cs[0] >= p.D
+}
+
+// Apply forces the pre-D change variables to 0.
+func (p QuietBefore) Apply(b *cnf.Builder, vars []int) error {
+	if p.D < 0 || p.D > len(vars) {
+		return fmt.Errorf("deadline %d outside [0,%d]", p.D, len(vars))
+	}
+	for _, v := range vars[:p.D] {
+		b.AddClause(-v)
+	}
+	return nil
+}
+
+func (p QuietBefore) String() string { return fmt.Sprintf("QuietBefore(%d)", p.D) }
+
+// MinGap requires consecutive changes to be at least Gap cycles apart
+// (Gap = 1 is vacuous). Models minimum pulse spacing / debounce specs.
+type MinGap struct {
+	Gap int
+}
+
+// Holds checks pairwise distances of adjacent changes.
+func (p MinGap) Holds(s core.Signal) bool {
+	cs := s.Changes()
+	for i := 1; i < len(cs); i++ {
+		if cs[i]-cs[i-1] < p.Gap {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply forbids any two changes closer than Gap.
+func (p MinGap) Apply(b *cnf.Builder, vars []int) error {
+	if p.Gap < 1 {
+		return fmt.Errorf("gap %d must be >= 1", p.Gap)
+	}
+	for i := range vars {
+		for d := 1; d < p.Gap && i+d < len(vars); d++ {
+			b.AddClause(-vars[i], -vars[i+d])
+		}
+	}
+	return nil
+}
+
+func (p MinGap) String() string { return fmt.Sprintf("MinGap(%d)", p.Gap) }
+
+// ExactChanges pins the signal to exactly the given change cycles —
+// the strongest possible property, used when a reference trace fixes
+// everything (e.g. checking whether the logged timeprint equals a
+// simulation's).
+type ExactChanges struct {
+	Changes []int
+}
+
+// Holds compares change sets.
+func (p ExactChanges) Holds(s core.Signal) bool {
+	want := core.SignalFromChanges(s.M(), p.Changes...)
+	return s.Equal(want)
+}
+
+// Apply emits one unit clause per cycle.
+func (p ExactChanges) Apply(b *cnf.Builder, vars []int) error {
+	set := map[int]bool{}
+	for _, c := range p.Changes {
+		if c < 0 || c >= len(vars) {
+			return fmt.Errorf("change %d outside [0,%d)", c, len(vars))
+		}
+		set[c] = true
+	}
+	for i, v := range vars {
+		if set[i] {
+			b.AddClause(v)
+		} else {
+			b.AddClause(-v)
+		}
+	}
+	return nil
+}
+
+func (p ExactChanges) String() string { return fmt.Sprintf("ExactChanges(%d)", len(p.Changes)) }
+
+// OneOfSignals asserts the signal equals one of the listed candidate
+// signals — a disjunction of complete assignments, encoded with a
+// one-hot selector. The Section 5.2.2 delay localization compiles to
+// this via DelayedVariants.
+type OneOfSignals struct {
+	Name       string
+	Candidates []core.Signal
+}
+
+// Holds reports membership in the candidate set.
+func (p OneOfSignals) Holds(s core.Signal) bool {
+	for _, c := range p.Candidates {
+		if s.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply introduces a selector variable per candidate; the chosen
+// selector forces every change variable to that candidate's value.
+func (p OneOfSignals) Apply(b *cnf.Builder, vars []int) error {
+	if len(p.Candidates) == 0 {
+		b.AddClause()
+		return nil
+	}
+	sels := make([]int, len(p.Candidates))
+	for j, cand := range p.Candidates {
+		if cand.M() != len(vars) {
+			return fmt.Errorf("candidate %d has length %d, want %d", j, cand.M(), len(vars))
+		}
+		sel := b.NewVar()
+		sels[j] = sel
+		for i, v := range vars {
+			if cand.Changed(i) {
+				b.AddClause(-sel, v)
+			} else {
+				b.AddClause(-sel, -v)
+			}
+		}
+	}
+	b.AddClause(sels...)
+	return nil
+}
+
+func (p OneOfSignals) String() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("OneOfSignals(%d)", len(p.Candidates))
+}
+
+// DelayedVariants builds the Section 5.2.2 localization property: the
+// signal equals the reference trace except that exactly one change
+// instance is delayed by delta cycles (landing on a previously quiet
+// cycle). The reconstructor then reveals which instance was delayed.
+func DelayedVariants(ref core.Signal, delta int) OneOfSignals {
+	var cands []core.Signal
+	m := ref.M()
+	for _, c := range ref.Changes() {
+		nc := c + delta
+		if nc < 0 || nc >= m || ref.Changed(nc) {
+			continue
+		}
+		v := ref.Vector()
+		v.Flip(c)
+		v.Flip(nc)
+		cands = append(cands, core.SignalFromVector(v))
+	}
+	return OneOfSignals{
+		Name:       fmt.Sprintf("DelayedVariants(delta=%d, refK=%d)", delta, ref.K()),
+		Candidates: cands,
+	}
+}
+
+// All conjoins several properties.
+type All []Property
+
+// Holds requires every conjunct to hold.
+func (a All) Holds(s core.Signal) bool {
+	for _, p := range a {
+		if !p.Holds(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply compiles every conjunct.
+func (a All) Apply(b *cnf.Builder, vars []int) error {
+	for _, p := range a {
+		if err := p.Apply(b, vars); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a All) String() string {
+	s := "All("
+	for i, p := range a {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ")"
+}

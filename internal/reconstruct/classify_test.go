@@ -1,0 +1,144 @@
+package reconstruct
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/properties"
+)
+
+func negatable(t *testing.T, p properties.Property) NegatableProperty {
+	t.Helper()
+	n, ok := properties.Negate(p)
+	if !ok {
+		t.Fatalf("property %s not negatable", p)
+	}
+	return NegatableProperty{Prop: p, Negation: n}
+}
+
+// classifyRef computes the verdict by full enumeration — the oracle.
+func classifyRef(t *testing.T, enc *encoding.Encoding, entry core.LogEntry, p properties.Property) Verdict {
+	t.Helper()
+	rec, err := New(enc, entry, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, exhausted := rec.Enumerate(0)
+	if !exhausted {
+		t.Fatal("oracle enumeration incomplete")
+	}
+	if len(sigs) == 0 {
+		return NoCandidates
+	}
+	sat, viol := 0, 0
+	for _, s := range sigs {
+		if p.Holds(s) {
+			sat++
+		} else {
+			viol++
+		}
+	}
+	switch {
+	case viol == 0:
+		return CertainlySatisfies
+	case sat == 0:
+		return CertainlyViolates
+	default:
+		return Inconclusive
+	}
+}
+
+func TestClassifyMatchesEnumeration(t *testing.T) {
+	enc, err := encoding.Incremental(16, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := []properties.Property{
+		properties.Dk{D: 8, K: 1},
+		properties.Dk{D: 8, K: 3},
+		properties.ChangeBefore{D: 4},
+		properties.QuietBefore{D: 4},
+		properties.Window{Lo: 0, Hi: 8},
+		properties.CountBetween{Lo: 4, Hi: 12, Min: 2, Max: -1},
+		properties.CountBetween{Lo: 4, Hi: 12, Min: 0, Max: 1},
+	}
+	signals := []core.Signal{
+		core.SignalFromChanges(16, 2, 3),
+		core.SignalFromChanges(16, 9, 10, 11),
+		core.SignalFromChanges(16, 1, 6, 12),
+		core.NewSignal(16),
+	}
+	for _, truth := range signals {
+		entry := core.Log(enc, truth)
+		for _, p := range props {
+			want := classifyRef(t, enc, entry, p)
+			got, err := Classify(enc, entry, negatable(t, p), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("signal %s, property %s: classify %v, oracle %v", truth, p, got, want)
+			}
+		}
+	}
+}
+
+func TestClassifyNoCandidates(t *testing.T) {
+	enc, err := encoding.Incremental(16, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = 0 with a nonzero TP: impossible entry.
+	entry := core.LogEntry{TP: bitvec.FromOnes(9, 0), K: 0}
+	got, err := Classify(enc, entry, negatable(t, properties.Dk{D: 8, K: 1}), Options{})
+	if err != nil || got != NoCandidates {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestClassifyNeedsNegation(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 9, 4)
+	entry := core.Log(enc, core.SignalFromChanges(16, 1))
+	if _, err := Classify(enc, entry, NegatableProperty{Prop: properties.Dk{D: 8, K: 1}}, Options{}); err == nil {
+		t.Error("missing negation accepted")
+	}
+}
+
+func TestNegateCoverage(t *testing.T) {
+	// Negatable properties: complement semantics verified exhaustively.
+	pairs := []properties.Property{
+		properties.Dk{D: 6, K: 2},
+		properties.Dk{D: 6, K: 0},
+		properties.ChangeBefore{D: 5},
+		properties.QuietBefore{D: 5},
+		properties.QuietBefore{D: 0},
+		properties.Window{Lo: 2, Hi: 7},
+		properties.CountBetween{Lo: 1, Hi: 8, Min: 0, Max: 2},
+		properties.CountBetween{Lo: 1, Hi: 8, Min: 3, Max: -1},
+	}
+	for _, p := range pairs {
+		n, ok := properties.Negate(p)
+		if !ok {
+			t.Errorf("%s not negatable", p)
+			continue
+		}
+		for mask := uint64(0); mask < 1<<10; mask++ {
+			s := core.SignalFromVector(bitvec.FromUint(mask, 10))
+			if p.Holds(s) == n.Holds(s) {
+				t.Fatalf("%s and %s agree on %s", p, n, s)
+			}
+		}
+	}
+	// Non-negatable: general CountBetween and structural properties.
+	for _, p := range []properties.Property{
+		properties.CountBetween{Lo: 0, Hi: 8, Min: 2, Max: 4},
+		properties.P2{},
+		properties.PairedChanges{},
+	} {
+		if _, ok := properties.Negate(p); ok {
+			t.Errorf("%s unexpectedly negatable", p)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package reconstruct solves the paper's Signal Reconstruction (SR)
+// problem:
+//
+//	Input:  encoding TS : [0..m) → F2^b, timeprint TP ∈ F2^b, k ∈ N.
+//	Task:   find all signals S with α̃(S) = (TP, k).
+//
+// Equivalently: all x ∈ F2^m with A·x = TP and exactly k ones, where
+// A = [TS(0) | … | TS(m−1)]. SR is NP-hard (syndrome decoding,
+// Berlekamp–McEliece–van Tilborg 1978). Following Section 4.2, the
+// system's b parity rows become native XOR clauses and the cardinality
+// constraint |x| = k uses the Sinz sequential-counter encoding; known
+// temporal properties are added as extra CNF constraints to prune the
+// search (Section 5.1.3). A Gaussian-elimination brute-force baseline
+// cross-checks the SAT path and quantifies what the solver buys.
+package reconstruct
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/sat"
+)
+
+// Constraint adds clauses restricting the candidate signals. vars[i]
+// is the solver variable asserting "the signal changed in clock-cycle
+// i". Temporal properties (internal/properties) implement this
+// interface.
+type Constraint interface {
+	// Apply emits the constraint's clauses into the builder.
+	Apply(b *cnf.Builder, vars []int) error
+	// String names the constraint for reports.
+	String() string
+}
+
+// Options tune how the SAT instance is built and solved. The zero
+// value is the paper's configuration: native XOR clauses and the Sinz
+// sequential-counter cardinality encoding.
+type Options struct {
+	// XorAsCNF expands parity rows to plain CNF instead of native XOR
+	// clauses (ablation).
+	XorAsCNF bool
+	// BinomialCardinality uses the naive C(m,k+1)-clause encoding
+	// instead of the sequential counter (ablation; fails on large
+	// instances by design).
+	BinomialCardinality bool
+	// MaxConflicts bounds the solver effort per Solve call; 0 means
+	// unlimited.
+	MaxConflicts int64
+	// XorCutLen caps the length of native XOR clauses; longer parity
+	// rows are chained through auxiliary variables (see cnf.AddXorCut).
+	// 0 means the default of 8; negative disables cutting (ablation).
+	XorCutLen int
+}
+
+func (o Options) cutLen() int {
+	switch {
+	case o.XorCutLen == 0:
+		return 8
+	case o.XorCutLen < 0:
+		return 1 << 30 // effectively uncut
+	default:
+		return o.XorCutLen
+	}
+}
+
+// Reconstructor is a live SR instance. Enumeration consumes it:
+// each found signal is blocked before the search continues.
+type Reconstructor struct {
+	enc     *encoding.Encoding
+	entry   core.LogEntry
+	builder *cnf.Builder
+	vars    []int
+}
+
+// New builds the SAT instance for entry under enc, with the given
+// property constraints (may be nil).
+func New(enc *encoding.Encoding, entry core.LogEntry, constraints []Constraint, opts Options) (*Reconstructor, error) {
+	m, b := enc.M(), enc.B()
+	if entry.TP.Width() != b {
+		return nil, fmt.Errorf("reconstruct: timeprint width %d, want %d", entry.TP.Width(), b)
+	}
+	if entry.K < 0 || entry.K > m {
+		return nil, fmt.Errorf("reconstruct: k=%d outside [0,%d]", entry.K, m)
+	}
+
+	bld := cnf.NewBuilder(m)
+	vars := make([]int, m)
+	for i := range vars {
+		vars[i] = i + 1
+	}
+
+	// One parity row per timeprint bit j: XOR of {x_i : TS(i)_j = 1}
+	// equals TP_j.
+	ts := enc.Timestamps()
+	for j := 0; j < b; j++ {
+		var row []int
+		for i := 0; i < m; i++ {
+			if ts[i].Get(j) {
+				row = append(row, vars[i])
+			}
+		}
+		rhs := entry.TP.Get(j)
+		if opts.XorAsCNF {
+			bld.AddXorCNF(row, rhs)
+		} else {
+			cut := opts.cutLen()
+			if cut >= len(row) {
+				bld.AddXor(row, rhs)
+			} else {
+				bld.AddXorCut(row, rhs, cut)
+			}
+		}
+	}
+
+	// Cardinality: exactly k changes.
+	if opts.BinomialCardinality {
+		if err := bld.ExactlyKBinomial(vars, entry.K); err != nil {
+			return nil, err
+		}
+	} else {
+		bld.ExactlyK(vars, entry.K)
+	}
+
+	for _, c := range constraints {
+		if err := c.Apply(bld, vars); err != nil {
+			return nil, fmt.Errorf("reconstruct: constraint %s: %w", c, err)
+		}
+	}
+
+	bld.S.MaxConflicts = opts.MaxConflicts
+	return &Reconstructor{enc: enc, entry: entry, builder: bld, vars: vars}, nil
+}
+
+// First searches for one candidate signal. ok=false with status Unsat
+// means no signal matches (under the constraints); status Unknown
+// means the conflict budget ran out.
+func (r *Reconstructor) First() (core.Signal, sat.Status, error) {
+	st := r.builder.S.Solve()
+	if st != sat.Sat {
+		return core.Signal{}, st, nil
+	}
+	return r.model(), sat.Sat, nil
+}
+
+// model extracts the current solver model as a signal.
+func (r *Reconstructor) model() core.Signal {
+	v := bitvec.New(r.enc.M())
+	for i, x := range r.vars {
+		if r.builder.S.Value(x) {
+			v.Set(i, true)
+		}
+	}
+	return core.SignalFromVector(v)
+}
+
+// Enumerate finds up to limit candidate signals (limit <= 0: all). It
+// returns the signals and whether the candidate space was exhausted.
+// Each signal is verified against the log entry before being returned;
+// a mismatch indicates a solver bug and panics.
+func (r *Reconstructor) Enumerate(limit int) ([]core.Signal, bool) {
+	var out []core.Signal
+	n, st := r.builder.S.EnumerateModels(r.vars, limit, func(m map[int]bool) bool {
+		v := bitvec.New(r.enc.M())
+		for i, x := range r.vars {
+			if m[x] {
+				v.Set(i, true)
+			}
+		}
+		s := core.SignalFromVector(v)
+		if got := core.Log(r.enc, s); !got.Equal(r.entry) {
+			panic(fmt.Sprintf("reconstruct: candidate %s logs to %v, want %v", s, got, r.entry))
+		}
+		out = append(out, s)
+		return true
+	})
+	_ = n
+	return out, st == sat.Unsat
+}
+
+// Check reports whether any candidate signal exists under the current
+// constraints: the paper's safety-property query. Unsat proves that no
+// signal consistent with (TP, k) and the encoded properties exists —
+// e.g. "no transmission before the deadline" (Section 5.2.1).
+func (r *Reconstructor) Check() sat.Status {
+	return r.builder.S.Solve()
+}
+
+// Stats exposes the underlying solver counters.
+func (r *Reconstructor) Stats() sat.Stats { return r.builder.S.Stats }
+
+// BruteForce solves SR by linear algebra: Gaussian elimination yields
+// the solution coset (particular solution + nullspace span), which is
+// enumerated exhaustively and filtered by |x| = k. Cost is 2^nullity,
+// so it refuses instances whose nullity exceeds maxNullity (default 28
+// when <= 0). It is the validation baseline for the SAT path.
+func BruteForce(enc *encoding.Encoding, entry core.LogEntry, limit, maxNullity int) ([]core.Signal, error) {
+	if maxNullity <= 0 {
+		maxNullity = 28
+	}
+	sys, ok := enc.Matrix().Solve(entry.TP)
+	if !ok {
+		return nil, nil // TP outside the column space: no signals
+	}
+	if sys.Nullity() > maxNullity {
+		return nil, fmt.Errorf("reconstruct: brute force refuses nullity %d > %d", sys.Nullity(), maxNullity)
+	}
+	var out []core.Signal
+	sys.EnumerateSolutions(maxNullity, func(x bitvec.Vector) bool {
+		if x.PopCount() == entry.K {
+			out = append(out, core.SignalFromVector(x))
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// CountCandidates counts all signals matching the entry (no
+// constraints), up to max, via the SAT path.
+func CountCandidates(enc *encoding.Encoding, entry core.LogEntry, max int) (int, bool, error) {
+	r, err := New(enc, entry, nil, Options{})
+	if err != nil {
+		return 0, false, err
+	}
+	sigs, exhausted := r.Enumerate(max)
+	return len(sigs), exhausted, nil
+}

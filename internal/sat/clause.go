@@ -1,0 +1,103 @@
+package sat
+
+// clause is a disjunction of literals. For learned clauses, act and lbd
+// drive the reduction policy.
+type clause struct {
+	lits    []lit
+	act     float64
+	lbd     int32
+	learned bool
+}
+
+// xorClause is a parity constraint over variables: the XOR of the
+// variables' values must equal rhs. Two positions of vars are watched;
+// the rest are only inspected when a watch triggers.
+type xorClause struct {
+	vars []int32
+	rhs  bool
+	w    [2]int // indices into vars
+}
+
+// propagateXor handles the assignment of watched variable v in x. It
+// returns (conflict, impliedLit, propagate):
+//
+//   - if a replacement unassigned watch was found the clause is moved to
+//     that variable's watch list and keep=false is returned,
+//   - if exactly the other watched variable is unassigned, its forced
+//     value is returned with imply=true,
+//   - if everything is assigned and the parity is wrong, conflict=true.
+//
+// keep reports whether the clause must stay in v's watch list.
+func (s *Solver) propagateXor(x *xorClause, v int32) (conflict bool, implied lit, imply bool, keep bool) {
+	var wi int
+	switch {
+	case x.vars[x.w[0]] == v:
+		wi = 0
+	case x.vars[x.w[1]] == v:
+		wi = 1
+	default:
+		// Stale watch entry (clause already moved); drop it.
+		return false, 0, false, false
+	}
+	other := x.w[1-wi]
+
+	// Look for an unassigned replacement watch distinct from both
+	// current watches.
+	for i := range x.vars {
+		if i == x.w[0] || i == x.w[1] {
+			continue
+		}
+		if s.assigns[x.vars[i]] == valUnassigned {
+			x.w[wi] = i
+			s.xorWatches[x.vars[i]] = append(s.xorWatches[x.vars[i]], x)
+			return false, 0, false, false
+		}
+	}
+
+	// No replacement: all variables except possibly vars[other] are
+	// assigned. Compute the parity of the assigned ones.
+	parity := false
+	otherUnassigned := s.assigns[x.vars[other]] == valUnassigned
+	for i, xv := range x.vars {
+		if i == other && otherUnassigned {
+			continue
+		}
+		if s.assigns[xv] == valTrue {
+			parity = !parity
+		}
+	}
+	if otherUnassigned {
+		// vars[other] must make the parity equal rhs.
+		want := parity != x.rhs // value needed is rhs ^ parity
+		return false, mkLit(x.vars[other], !want), true, true
+	}
+	if parity != x.rhs {
+		return true, 0, false, true
+	}
+	return false, 0, false, true
+}
+
+// xorReason materializes the clausal reason for an implication (or
+// conflict) of x. If implied is a valid literal it is placed first; the
+// remaining literals are the negations of the current assignments of
+// the other variables, so the clause is false except for the implied
+// literal — exactly the shape conflict analysis requires.
+func (s *Solver) xorReason(x *xorClause, impliedVar int32, haveImplied bool) []lit {
+	out := make([]lit, 0, len(x.vars))
+	if haveImplied {
+		// The implied literal is the one currently true on impliedVar.
+		out = append(out, mkLit(impliedVar, s.assigns[impliedVar] != valTrue))
+	}
+	for _, v := range x.vars {
+		if haveImplied && v == impliedVar {
+			continue
+		}
+		// Negation of the current assignment: a false literal.
+		if s.assigns[v] == valTrue {
+			out = append(out, mkLit(v, true))
+		} else {
+			out = append(out, mkLit(v, false))
+		}
+	}
+	return out
+}

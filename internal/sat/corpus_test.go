@@ -1,0 +1,114 @@
+package sat
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpus solves every DIMACS instance under testdata/corpus; the
+// expected verdict is encoded in the file name (.sat.cnf / .unsat.cnf).
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.cnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus missing: %v", files)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s, err := ParseDimacs(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Unsat
+			if strings.Contains(path, ".sat.") {
+				want = Sat
+			}
+			if got := s.Solve(); got != want {
+				t.Fatalf("%s: got %v, want %v", path, got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusParityChainModel checks a structural property of the
+// alternating-parity chain: the model must strictly alternate.
+func TestCorpusParityChainModel(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "corpus", "parity_chain.sat.cnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := ParseDimacs(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("unsat")
+	}
+	for v := 1; v < s.NumVars(); v++ {
+		if s.Value(v) == s.Value(v+1) {
+			t.Fatalf("x%d == x%d violates the chain", v, v+1)
+		}
+	}
+	if !s.Value(1) {
+		t.Fatal("unit clause x1 violated")
+	}
+}
+
+// TestCorpusModelCount verifies the solver's complete enumeration on
+// the random 3-SAT instance whose brute-forced model count is recorded
+// in its comment header.
+func TestCorpusModelCount(t *testing.T) {
+	path := filepath.Join("testdata", "corpus", "random3sat.sat.cnf")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "c models=") {
+			if _, err := fmtSscanf(line, &want); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("no model count header")
+	}
+	s, err := ParseDimacs(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := make([]int, s.NumVars())
+	for i := range proj {
+		proj[i] = i + 1
+	}
+	got, exhausted := s.CountModels(proj, 0)
+	if !exhausted || got != want {
+		t.Fatalf("counted %d models (exhausted=%v), header says %d", got, exhausted, want)
+	}
+}
+
+func fmtSscanf(line string, out *int) (int, error) {
+	var v int
+	n := 0
+	for _, c := range strings.TrimPrefix(line, "c models=") {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int(c-'0')
+		n++
+	}
+	*out = v
+	return n, nil
+}

@@ -1,0 +1,184 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the extended DIMACS CNF format of CryptoMiniSat
+// (the solver the paper uses): ordinary clauses are zero-terminated
+// literal lists, and lines starting with 'x' are XOR clauses whose
+// literal signs fold into the parity — "x1 2 3 0" means
+// x1 ^ x2 ^ x3 = 1 and "x-1 2 3 0" means ¬x1 ^ x2 ^ x3 = 1, i.e.
+// x1 ^ x2 ^ x3 = 0. This lets reconstruction instances be exported for
+// external solvers and external instances be solved here.
+
+// ParseDimacs reads an extended DIMACS document into a fresh solver.
+func ParseDimacs(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var s *Solver
+	declaredVars, declaredClauses := 0, 0
+	seenClauses := 0
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			var err1, err2 error
+			declaredVars, err1 = strconv.Atoi(fields[2])
+			declaredClauses, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || declaredVars < 0 || declaredClauses < 0 {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			s = New(declaredVars)
+			continue
+		}
+		if s == nil {
+			return nil, fmt.Errorf("sat: clause before problem line: %q", line)
+		}
+		isXor := false
+		if strings.HasPrefix(line, "x") {
+			isXor = true
+			line = strings.TrimSpace(line[1:])
+		}
+		lits, err := parseLits(line)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range lits {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v > declaredVars {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", l, declaredVars)
+			}
+		}
+		if isXor {
+			// Signs fold into the parity: each negative literal flips
+			// the right-hand side.
+			rhs := true
+			vars := make([]int, len(lits))
+			for i, l := range lits {
+				if l < 0 {
+					rhs = !rhs
+					vars[i] = -l
+				} else {
+					vars[i] = l
+				}
+			}
+			if err := s.AddXorClause(vars, rhs); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := s.AddClause(lits...); err != nil {
+				return nil, err
+			}
+		}
+		seenClauses++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if seenClauses != declaredClauses {
+		return nil, fmt.Errorf("sat: %d clauses, header declares %d", seenClauses, declaredClauses)
+	}
+	return s, nil
+}
+
+func parseLits(line string) ([]int, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[len(fields)-1] != "0" {
+		return nil, fmt.Errorf("sat: clause not zero-terminated: %q", line)
+	}
+	lits := make([]int, 0, len(fields)-1)
+	for _, f := range fields[:len(fields)-1] {
+		l, err := strconv.Atoi(f)
+		if err != nil || l == 0 {
+			return nil, fmt.Errorf("sat: bad literal %q", f)
+		}
+		lits = append(lits, l)
+	}
+	return lits, nil
+}
+
+// DimacsWriter accumulates a formula and serializes it with a correct
+// header. Use it when exporting instances (the Solver does not retain
+// pre-simplification clauses, so export happens at build time).
+type DimacsWriter struct {
+	numVars int
+	lines   []string
+}
+
+// NewDimacsWriter returns an empty writer with n declared variables.
+func NewDimacsWriter(n int) *DimacsWriter { return &DimacsWriter{numVars: n} }
+
+func (d *DimacsWriter) bump(lits []int) {
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v > d.numVars {
+			d.numVars = v
+		}
+	}
+}
+
+// AddClause records an ordinary clause.
+func (d *DimacsWriter) AddClause(lits ...int) {
+	d.bump(lits)
+	d.lines = append(d.lines, litLine("", lits))
+}
+
+// AddXorClause records a parity constraint over positive variables.
+func (d *DimacsWriter) AddXorClause(vars []int, rhs bool) {
+	lits := append([]int(nil), vars...)
+	if !rhs && len(lits) > 0 {
+		lits[0] = -lits[0] // one negation flips the parity to 0
+	}
+	d.bump(lits)
+	d.lines = append(d.lines, litLine("x", lits))
+}
+
+func litLine(prefix string, lits []int) string {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for _, l := range lits {
+		fmt.Fprintf(&sb, "%d ", l)
+	}
+	sb.WriteString("0")
+	return sb.String()
+}
+
+// WriteTo serializes the document.
+func (d *DimacsWriter) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "p cnf %d %d\n", d.numVars, len(d.lines))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, l := range d.lines {
+		n, err := fmt.Fprintln(bw, l)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}

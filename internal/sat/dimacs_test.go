@@ -1,0 +1,134 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDimacsBasic(t *testing.T) {
+	doc := `c a comment
+p cnf 3 3
+1 2 0
+-1 3 0
+x2 3 0
+`
+	s, err := ParseDimacs(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	// Verify the xor: x2 ^ x3 must be 1.
+	if s.Value(2) == s.Value(3) {
+		t.Error("xor clause violated")
+	}
+	// Verify clause 1: x1 or x2.
+	if !s.Value(1) && !s.Value(2) {
+		t.Error("clause violated")
+	}
+}
+
+func TestParseDimacsXorNegativeFoldsParity(t *testing.T) {
+	// "x-1 2 0" means x1 ^ x2 = 0, i.e. x1 == x2.
+	doc := "p cnf 2 2\nx-1 2 0\n1 0\n"
+	s, err := ParseDimacs(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat || !s.Value(2) {
+		t.Fatal("negative xor literal parity wrong")
+	}
+}
+
+func TestParseDimacsErrors(t *testing.T) {
+	bad := []string{
+		"1 2 0\n",            // clause before header
+		"p cnf 2 1\n1 2\n",   // missing terminator
+		"p cnf 2 1\n1 5 0\n", // literal out of range
+		"p cnf 2 2\n1 0\n",   // clause count mismatch
+		"p dnf 2 1\n1 0\n",   // wrong format tag
+		"p cnf 2 1\n1 q 0\n", // junk literal
+		"",                   // empty
+	}
+	for _, doc := range bad {
+		if _, err := ParseDimacs(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted %q", doc)
+		}
+	}
+}
+
+func TestDimacsWriterRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 3 + r.Intn(7)
+		f := randomFormula(r, nVars)
+
+		// Write through the DimacsWriter.
+		dw := NewDimacsWriter(nVars)
+		for _, c := range f.clauses {
+			dw.AddClause(c...)
+		}
+		for _, x := range f.xors {
+			dw.AddXorClause(x.vars, x.rhs)
+		}
+		var buf bytes.Buffer
+		if _, err := dw.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+
+		// Parse back and compare model counts with a directly-built
+		// solver.
+		parsed, err := ParseDimacs(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		direct := New(nVars)
+		for _, c := range f.clauses {
+			_ = direct.AddClause(c...)
+		}
+		for _, x := range f.xors {
+			_ = direct.AddXorClause(x.vars, x.rhs)
+		}
+		proj := make([]int, nVars)
+		for i := range proj {
+			proj[i] = i + 1
+		}
+		nParsed, ok1 := parsed.CountModels(proj, 0)
+		nDirect, ok2 := direct.CountModels(proj, 0)
+		if !ok1 || !ok2 || nParsed != nDirect {
+			t.Fatalf("trial %d: parsed %d models, direct %d", trial, nParsed, nDirect)
+		}
+	}
+}
+
+func TestDimacsWriterEmptyXorRhsHandling(t *testing.T) {
+	// An even-parity xor over one variable is ¬x1.
+	dw := NewDimacsWriter(1)
+	dw.AddXorClause([]int{1}, false)
+	var buf bytes.Buffer
+	if _, err := dw.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseDimacs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat || s.Value(1) {
+		t.Fatal("x1=0 expected")
+	}
+}
+
+func TestDimacsWriterBumpsVars(t *testing.T) {
+	dw := NewDimacsWriter(1)
+	dw.AddClause(7)
+	var buf bytes.Buffer
+	if _, err := dw.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "p cnf 7 1") {
+		t.Fatalf("header: %q", buf.String())
+	}
+}

@@ -1,0 +1,54 @@
+package sat
+
+// EnumerateModels finds satisfying assignments one after another,
+// projecting each model onto the given variables (1-based). After each
+// model, a blocking clause over the projection is added, so successive
+// models differ on at least one projected variable. Enumeration stops
+// when fn returns false, when limit models were produced (limit <= 0
+// means unbounded), or when the formula becomes unsatisfiable.
+//
+// It returns the number of models delivered and the final status: Unsat
+// when the space was exhausted, Sat when stopped early by fn or limit,
+// Unknown when the conflict budget ran out.
+//
+// The blocking clauses remain in the solver; enumeration is a
+// consuming operation.
+func (s *Solver) EnumerateModels(projection []int, limit int, fn func(model map[int]bool) bool) (int, Status) {
+	count := 0
+	for {
+		st := s.Solve()
+		if st != Sat {
+			return count, st
+		}
+		model := make(map[int]bool, len(projection))
+		blocking := make([]int, 0, len(projection))
+		for _, v := range projection {
+			val := s.Value(v)
+			model[v] = val
+			if val {
+				blocking = append(blocking, -v)
+			} else {
+				blocking = append(blocking, v)
+			}
+		}
+		count++
+		if !fn(model) {
+			return count, Sat
+		}
+		if limit > 0 && count >= limit {
+			return count, Sat
+		}
+		if err := s.AddClause(blocking...); err != nil {
+			// Empty projection: blocking impossible; treat as exhausted.
+			return count, Unsat
+		}
+	}
+}
+
+// CountModels counts models projected onto the given variables, up to
+// max (<= 0 for unbounded). It returns the count and whether the space
+// was exhausted (true) or the cap was hit / budget ran out (false).
+func (s *Solver) CountModels(projection []int, max int) (int, bool) {
+	n, st := s.EnumerateModels(projection, max, func(map[int]bool) bool { return true })
+	return n, st == Unsat
+}

@@ -1,0 +1,22 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDimacs ensures arbitrary text never panics the parser and
+// that accepted formulas solve without crashing.
+func FuzzParseDimacs(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\nx2 3 0\n")
+	f.Add("p cnf 1 1\n1 0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := ParseDimacs(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		s.MaxConflicts = 1000
+		_ = s.Solve()
+	})
+}

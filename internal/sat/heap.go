@@ -1,0 +1,104 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by VSIDS activity, with a
+// position index for O(log n) decrease/increase-key. Ties break toward
+// the lower variable index so runs are deterministic.
+type varHeap struct {
+	act  *[]float64
+	heap []int32
+	pos  []int32 // pos[v] = index in heap, or -1
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(a, b int32) bool {
+	aa, ab := (*h.act)[a], (*h.act)[b]
+	if aa != ab {
+		return aa > ab
+	}
+	return a < b
+}
+
+func (h *varHeap) inHeap(v int32) bool {
+	return int(v) < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) insert(v int32) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) removeMax() int32 {
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return top
+}
+
+// bumped restores heap order after variable v's activity increased.
+func (h *varHeap) bumped(v int32) {
+	if h.inHeap(v) {
+		h.up(int(h.pos[v]))
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = int32(i)
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = int32(i)
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}
+
+// rebuild re-heapifies after a global activity rescale.
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}

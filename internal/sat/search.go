@@ -1,0 +1,456 @@
+package sat
+
+// conflictInfo carries the clause that falsified the trail, in a form
+// conflict analysis can consume uniformly for CNF and XOR conflicts.
+type conflictInfo struct {
+	lits []lit
+}
+
+// propagate performs unit propagation over CNF and XOR watches until a
+// fixpoint or a conflict. It returns nil when no conflict occurred.
+func (s *Solver) propagate() *conflictInfo {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+
+		if c := s.propagateCNF(p); c != nil {
+			return c
+		}
+		if c := s.propagateXors(p.varIdx()); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// propagateCNF visits all clauses watching ¬p (p just became true).
+func (s *Solver) propagateCNF(p lit) *conflictInfo {
+	ws := s.watches[p]
+	kept := ws[:0]
+	for wi := 0; wi < len(ws); wi++ {
+		w := ws[wi]
+		if s.valueLit(w.blocker) == valTrue {
+			kept = append(kept, w)
+			continue
+		}
+		c := w.cls
+		falseLit := p.not()
+		// Binary clauses: the blocker IS the other literal; no watch
+		// movement can ever help, so propagate or conflict directly.
+		if len(c.lits) == 2 {
+			other := c.lits[0]
+			if other == falseLit {
+				other = c.lits[1]
+			}
+			switch s.valueLit(other) {
+			case valFalse:
+				kept = append(kept, w)
+				for wi++; wi < len(ws); wi++ {
+					kept = append(kept, ws[wi])
+				}
+				s.watches[p] = kept
+				return &conflictInfo{lits: c.lits}
+			case valUnassigned:
+				// Put the implied literal first so reasonLits works.
+				if c.lits[0] != other {
+					c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+				}
+				s.uncheckedEnqueue(other, reason{kind: reasonClause, cls: c})
+			}
+			kept = append(kept, w)
+			continue
+		}
+		// Normalize so that lits[1] is the falsified watch (¬p ... p is
+		// true so the false literal in the clause is p.not()).
+		if c.lits[0] == falseLit {
+			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		}
+		if s.valueLit(c.lits[0]) == valTrue {
+			kept = append(kept, watcher{c, c.lits[0]})
+			continue
+		}
+		// Find a new watch among lits[2:].
+		found := false
+		for i := 2; i < len(c.lits); i++ {
+			if s.valueLit(c.lits[i]) != valFalse {
+				c.lits[1], c.lits[i] = c.lits[i], c.lits[1]
+				s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], watcher{c, c.lits[0]})
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		// Clause is unit or conflicting.
+		if s.valueLit(c.lits[0]) == valFalse {
+			// Conflict: keep remaining watchers, restore list, report.
+			kept = append(kept, w)
+			for wi++; wi < len(ws); wi++ {
+				kept = append(kept, ws[wi])
+			}
+			s.watches[p] = kept
+			return &conflictInfo{lits: c.lits}
+		}
+		kept = append(kept, w)
+		s.uncheckedEnqueue(c.lits[0], reason{kind: reasonClause, cls: c})
+	}
+	s.watches[p] = kept
+	return nil
+}
+
+// propagateXors visits all XOR clauses watching variable v.
+func (s *Solver) propagateXors(v int32) *conflictInfo {
+	ws := s.xorWatches[v]
+	kept := ws[:0]
+	for wi := 0; wi < len(ws); wi++ {
+		x := ws[wi]
+		conflict, implied, imply, keep := s.propagateXor(x, v)
+		if keep {
+			kept = append(kept, x)
+		}
+		if conflict {
+			for wi++; wi < len(ws); wi++ {
+				kept = append(kept, ws[wi])
+			}
+			s.xorWatches[v] = kept
+			return &conflictInfo{lits: s.xorReason(x, 0, false)}
+		}
+		if imply {
+			s.Stats.XorProps++
+			s.uncheckedEnqueue(implied, reason{kind: reasonXor, xor: x})
+			// A propagation may cascade; the main loop drains the trail.
+		}
+	}
+	s.xorWatches[v] = kept
+	return nil
+}
+
+// reasonLits returns the clausal reason for variable v's assignment,
+// with the asserting literal first.
+func (s *Solver) reasonLits(v int32) []lit {
+	r := s.reasons[v]
+	switch r.kind {
+	case reasonClause:
+		return r.cls.lits
+	case reasonXor:
+		return s.xorReason(r.xor, v, true)
+	default:
+		return nil
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *conflictInfo) ([]lit, int) {
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, 0) // placeholder for the asserting literal
+
+	pathC := 0
+	var p lit = -1
+	idx := len(s.trail) - 1
+	lits := confl.lits
+
+	for {
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal of the reason
+		}
+		for _, q := range lits[start:] {
+			v := q.varIdx()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand: last trail literal that is seen.
+		for !s.seen[s.trail[idx].varIdx()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.varIdx()
+		s.seen[v] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		lits = s.reasonLits(v)
+	}
+	learnt[0] = p.not()
+
+	// Clause minimization: drop literals implied by the rest. The seen
+	// flags of every original literal (kept or dropped) are cleared
+	// afterwards; clearing only kept ones would poison later analyses.
+	original := make([]lit, len(learnt))
+	copy(original, learnt)
+	minimized := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			minimized = append(minimized, q)
+		}
+	}
+	learnt = minimized
+	for _, q := range original[1:] {
+		s.seen[q.varIdx()] = false
+	}
+
+	// Backjump level: highest level among learnt[1:].
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].varIdx()] > s.level[learnt[maxI].varIdx()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].varIdx()])
+	}
+
+	s.analyzeBuf = learnt // reuse backing array next time
+	out := make([]lit, len(learnt))
+	copy(out, learnt)
+	return out, bt
+}
+
+// redundant reports whether literal q of a learned clause is implied by
+// the remaining seen literals (local, non-recursive approximation of
+// MiniSat's reason-side minimization: a literal whose reason consists
+// entirely of seen or level-0 literals is redundant).
+func (s *Solver) redundant(q lit) bool {
+	v := q.varIdx()
+	if s.reasons[v].kind == reasonNone {
+		return false
+	}
+	for _, r := range s.reasonLits(v)[1:] {
+		rv := r.varIdx()
+		if !s.seen[rv] && s.level[rv] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.bumped(v)
+}
+
+func (s *Solver) decayVarActivity() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClauseActivity() { s.claInc /= 0.999 }
+
+// computeLBD counts distinct decision levels among a clause's literals.
+func (s *Solver) computeLBD(lits []lit) int32 {
+	levels := map[int32]struct{}{}
+	for _, l := range lits {
+		levels[s.level[l.varIdx()]] = struct{}{}
+	}
+	return int32(len(levels))
+}
+
+// pickBranchLit selects the unassigned variable with highest activity
+// and applies the saved phase.
+func (s *Solver) pickBranchLit() (lit, bool) {
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == valUnassigned {
+			return mkLit(v, s.polarity[v]), true
+		}
+	}
+	return 0, false
+}
+
+// luby returns element x (0-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+func luby(x int64) int64 {
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// reduceDB removes roughly half of the learned clauses, preferring to
+// keep low-LBD and high-activity ones. Clauses that are reasons for
+// current assignments are locked.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Selection sort by (lbd asc, act desc) would be O(n^2); use a simple
+	// insertion-ordered copy since learned sets stay small in our
+	// workloads, falling back to a pivot split for large sets.
+	sorted := make([]*clause, len(s.learnts))
+	copy(sorted, s.learnts)
+	sortClauses(sorted)
+	keepN := len(sorted) / 2
+	locked := map[*clause]bool{}
+	for v := int32(0); v < int32(s.numVars); v++ {
+		if s.assigns[v] != valUnassigned && s.reasons[v].kind == reasonClause && s.reasons[v].cls.learned {
+			locked[s.reasons[v].cls] = true
+		}
+	}
+	var kept []*clause
+	for i, c := range sorted {
+		if i < keepN || c.lbd <= 2 || locked[c] || len(c.lits) <= 2 {
+			kept = append(kept, c)
+		} else {
+			s.detachClause(c)
+			s.Stats.LearnedPruned++
+		}
+	}
+	s.learnts = kept
+}
+
+func sortClauses(cs []*clause) {
+	// Shell sort: dependency-free, adequate for clause DB sizes here.
+	n := len(cs)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			c := cs[i]
+			j := i
+			for ; j >= gap && clauseLess(c, cs[j-gap]); j -= gap {
+				cs[j] = cs[j-gap]
+			}
+			cs[j] = c
+		}
+	}
+}
+
+func clauseLess(a, b *clause) bool {
+	if a.lbd != b.lbd {
+		return a.lbd < b.lbd
+	}
+	return a.act > b.act
+}
+
+func (s *Solver) detachClause(c *clause) {
+	for _, w := range []lit{c.lits[0].not(), c.lits[1].not()} {
+		ws := s.watches[w]
+		for i, x := range ws {
+			if x.cls == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment. It returns Sat, Unsat, or
+// Unknown when MaxConflicts was exhausted. After Sat, read the model
+// with Model or Value before adding more clauses.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+
+	var restartN int64
+	conflictBudget := int64(-1)
+	if s.MaxConflicts > 0 {
+		conflictBudget = s.MaxConflicts
+	}
+	maxLearnts := int64(len(s.clauses))/3 + 500
+
+	for {
+		limit := luby(restartN) * 100
+		st, done := s.search(limit, &conflictBudget, &maxLearnts)
+		if done {
+			return st
+		}
+		restartN++
+		s.Stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// search runs CDCL until the restart limit, a result, or budget
+// exhaustion. done=false means "restart requested".
+func (s *Solver) search(conflictLimit int64, budget *int64, maxLearnts *int64) (Status, bool) {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			s.Stats.Conflicts++
+			if *budget > 0 {
+				*budget--
+				if *budget == 0 {
+					s.cancelUntil(0)
+					return Unknown, true
+				}
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, true
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], reason{})
+			} else {
+				c := &clause{lits: learnt, learned: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learned++
+				s.attachClause(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], reason{kind: reasonClause, cls: c})
+			}
+			s.decayVarActivity()
+			s.decayClauseActivity()
+			if int64(len(s.learnts)) > *maxLearnts {
+				s.reduceDB()
+				*maxLearnts = *maxLearnts*11/10 + 10
+			}
+			if conflicts >= conflictLimit {
+				return Unknown, false
+			}
+			continue
+		}
+		// No conflict: decide.
+		next, ok := s.pickBranchLit()
+		if !ok {
+			return Sat, true // all variables assigned
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, reason{})
+	}
+}

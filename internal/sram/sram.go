@@ -1,0 +1,229 @@
+// Package sram models the external memory of experiment 5.2.2: an
+// asynchronous SRAM / CellularRAM-style device behind the AHB bus with
+//
+//   - programmable wait states (the Gaisler simulation library's SRAM
+//     model had these configured wrong — the bug the k-mismatch
+//     exposes),
+//   - temperature-compensated distributed refresh: the device
+//     periodically steals one cycle for an internal refresh, and the
+//     refresh interval shrinks as the die heats up (the data-sheet
+//     behaviour whose exact temperature dependence is unspecified),
+//   - an activity-driven thermal model: the die heats with every
+//     access and cools exponentially toward ambient, so the refresh
+//     cadence depends on the executed instruction sequence, exactly as
+//     the paper observes.
+//
+// A refresh due during an in-progress access is postponed; an access
+// arriving while a refresh is in progress pays a fixed, bounded
+// collision penalty (one cycle in the default configuration, matching
+// the bounded extra latency CellularRAM data-sheets quote) — producing
+// the sporadic one-cycle delays the timeprints reveal.
+package sram
+
+import "fmt"
+
+// Config parameterizes the device.
+type Config struct {
+	// WaitStates is the number of cycles between accepting an access
+	// and data being ready (>= 1 total access cycles enforced).
+	WaitStates int
+	// RefreshEnabled turns the distributed refresh on (the real device)
+	// or off (an idealized simulation model).
+	RefreshEnabled bool
+	// RefreshCycles is how many cycles one refresh occupies internally
+	// (the collision window).
+	RefreshCycles int
+	// CollisionPenaltyCycles is the fixed extra latency an access pays
+	// when it arrives while a refresh is in progress. CellularRAM-class
+	// devices bound this penalty regardless of refresh progress; the
+	// default configuration uses 1 cycle — the paper's observed
+	// one-cycle delay.
+	CollisionPenaltyCycles int
+	// BaseIntervalCycles is the refresh interval at AmbientC (cycles).
+	BaseIntervalCycles int
+	// MinIntervalCycles floors the compensated interval.
+	MinIntervalCycles int
+	// IntervalSlopeCyclesPerC is how many cycles of interval are lost
+	// per degree of die temperature above RefTempC (temperature
+	// compensation: hotter die, more frequent refresh).
+	IntervalSlopeCyclesPerC float64
+	// RefTempC is the die temperature at which the base interval
+	// applies.
+	RefTempC float64
+
+	// AmbientC is the environment temperature in degrees Celsius.
+	AmbientC float64
+	// HeatPerAccessC is the die temperature rise contributed by one
+	// access.
+	HeatPerAccessC float64
+	// CoolingPerCycle is the fraction of the excess-over-ambient
+	// temperature retained each cycle (e.g. 0.9995).
+	CoolingPerCycle float64
+}
+
+// DefaultConfig returns the reference device configuration used by the
+// refresh experiment at the given ambient temperature.
+func DefaultConfig(ambientC float64) Config {
+	return Config{
+		WaitStates:              1,
+		RefreshEnabled:          true,
+		RefreshCycles:           6,
+		CollisionPenaltyCycles:  1,
+		BaseIntervalCycles:      1600,
+		MinIntervalCycles:       200,
+		IntervalSlopeCyclesPerC: 40,
+		RefTempC:                25,
+		AmbientC:                ambientC,
+		HeatPerAccessC:          0.02,
+		CoolingPerCycle:         0.9995,
+	}
+}
+
+// Model is the device. It implements ahb.Slave and rtl.Component (the
+// component tick advances the thermal and refresh state machines every
+// cycle, whether or not the bus is active).
+type Model struct {
+	cfg Config
+
+	mem map[uint32]uint32
+
+	// Access state.
+	busy      bool
+	remaining int
+	addr      uint32
+	write     bool
+	wdata     uint32
+
+	// Refresh state.
+	refreshBusy      int   // cycles left of an in-progress refresh
+	sinceRefresh     int   // cycles since the last refresh completed
+	refreshes        int64 // total refreshes performed
+	refreshCollision int64 // accesses delayed by a refresh
+
+	// Thermal state.
+	excessC float64 // die temperature above ambient
+
+	// Diagnostics.
+	accesses     int64
+	refreshLog   []int64 // cycles at which refreshes started
+	collisionLog []int64 // cycles at which delayed accesses were accepted
+}
+
+// New returns a memory with the given configuration.
+func New(cfg Config) (*Model, error) {
+	if cfg.WaitStates < 0 {
+		return nil, fmt.Errorf("sram: negative wait states")
+	}
+	if cfg.RefreshEnabled {
+		if cfg.RefreshCycles < 1 || cfg.BaseIntervalCycles < 1 || cfg.MinIntervalCycles < 1 ||
+			cfg.CollisionPenaltyCycles < 1 {
+			return nil, fmt.Errorf("sram: invalid refresh configuration %+v", cfg)
+		}
+	}
+	if cfg.CoolingPerCycle < 0 || cfg.CoolingPerCycle > 1 {
+		return nil, fmt.Errorf("sram: cooling factor %f outside [0,1]", cfg.CoolingPerCycle)
+	}
+	return &Model{cfg: cfg, mem: map[uint32]uint32{}}, nil
+}
+
+// TemperatureC returns the current die temperature.
+func (m *Model) TemperatureC() float64 { return m.cfg.AmbientC + m.excessC }
+
+// interval returns the temperature-compensated refresh interval.
+func (m *Model) interval() int {
+	iv := float64(m.cfg.BaseIntervalCycles) -
+		m.cfg.IntervalSlopeCyclesPerC*(m.TemperatureC()-m.cfg.RefTempC)
+	if iv < float64(m.cfg.MinIntervalCycles) {
+		return m.cfg.MinIntervalCycles
+	}
+	return int(iv)
+}
+
+// Eval implements rtl.Component: per-cycle refresh scheduling and
+// cooling. The device refreshes only when no access is in flight; a
+// due refresh is postponed until the bus side goes quiet.
+func (m *Model) Eval(cycle int64) {
+	m.excessC *= m.cfg.CoolingPerCycle
+
+	if !m.cfg.RefreshEnabled {
+		return
+	}
+	if m.refreshBusy > 0 {
+		m.refreshBusy--
+		if m.refreshBusy == 0 {
+			m.sinceRefresh = 0
+		}
+		return
+	}
+	m.sinceRefresh++
+	if m.sinceRefresh >= m.interval() && !m.busy {
+		m.refreshBusy = m.cfg.RefreshCycles
+		m.refreshes++
+		m.refreshLog = append(m.refreshLog, cycle)
+	}
+}
+
+// Request implements ahb.Slave.
+func (m *Model) Request(cycle int64, addr uint32, write bool, wdata uint32) {
+	m.busy = true
+	m.remaining = m.cfg.WaitStates
+	if m.refreshBusy > 0 {
+		// Collision: the access pays the bounded refresh penalty.
+		m.remaining += m.cfg.CollisionPenaltyCycles
+		m.refreshCollision++
+		m.collisionLog = append(m.collisionLog, cycle)
+	}
+	m.addr = addr
+	m.write = write
+	m.wdata = wdata
+	m.accesses++
+	m.excessC += m.cfg.HeatPerAccessC
+}
+
+// Poll implements ahb.Slave.
+func (m *Model) Poll(cycle int64) (uint32, bool) {
+	if m.remaining > 0 {
+		m.remaining--
+		return 0, false
+	}
+	m.busy = false
+	word := m.addr >> 2
+	if m.write {
+		m.mem[word] = m.wdata
+		return 0, true
+	}
+	return m.mem[word], true
+}
+
+// Peek reads memory directly (test backdoor).
+func (m *Model) Peek(addr uint32) uint32 { return m.mem[addr>>2] }
+
+// Poke writes memory directly (test backdoor / image loading).
+func (m *Model) Poke(addr uint32, v uint32) { m.mem[addr>>2] = v }
+
+// Stats summarizes device activity.
+type Stats struct {
+	Accesses   int64
+	Refreshes  int64
+	Collisions int64
+}
+
+// Stats returns activity counters.
+func (m *Model) Stats() Stats {
+	return Stats{Accesses: m.accesses, Refreshes: m.refreshes, Collisions: m.refreshCollision}
+}
+
+// RefreshLog returns the cycles at which refreshes started.
+func (m *Model) RefreshLog() []int64 {
+	out := make([]int64, len(m.refreshLog))
+	copy(out, m.refreshLog)
+	return out
+}
+
+// CollisionLog returns the cycles at which refresh-delayed accesses
+// were accepted.
+func (m *Model) CollisionLog() []int64 {
+	out := make([]int64, len(m.collisionLog))
+	copy(out, m.collisionLog)
+	return out
+}

@@ -1,0 +1,201 @@
+package sram
+
+import (
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{WaitStates: -1}); err == nil {
+		t.Error("negative wait states accepted")
+	}
+	if _, err := New(Config{RefreshEnabled: true}); err == nil {
+		t.Error("zero refresh params accepted")
+	}
+	if _, err := New(Config{CoolingPerCycle: 1.5}); err == nil {
+		t.Error("cooling > 1 accepted")
+	}
+	if _, err := New(DefaultConfig(25)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m, _ := New(Config{WaitStates: 1, CoolingPerCycle: 1})
+	m.Request(0, 0x40, true, 0xCAFE)
+	// One wait state: first poll not done, second done.
+	if _, done := m.Poll(1); done {
+		t.Fatal("done too early")
+	}
+	if _, done := m.Poll(2); !done {
+		t.Fatal("not done after wait state")
+	}
+	m.Request(3, 0x40, false, 0)
+	m.Poll(4)
+	v, done := m.Poll(5)
+	if !done || v != 0xCAFE {
+		t.Fatalf("read %#x done=%v", v, done)
+	}
+	if m.Peek(0x40) != 0xCAFE {
+		t.Error("peek")
+	}
+}
+
+func TestPokePeek(t *testing.T) {
+	m, _ := New(Config{WaitStates: 0, CoolingPerCycle: 1})
+	m.Poke(0x100, 7)
+	if m.Peek(0x100) != 7 {
+		t.Error("poke/peek")
+	}
+	// Word addressing: 0x100 and 0x102 share a word.
+	if m.Peek(0x102) != 7 {
+		t.Error("sub-word addressing")
+	}
+}
+
+func TestRefreshFiresAtInterval(t *testing.T) {
+	cfg := DefaultConfig(25)
+	cfg.BaseIntervalCycles = 100
+	cfg.MinIntervalCycles = 10
+	cfg.IntervalSlopeCyclesPerC = 0
+	m, _ := New(cfg)
+	for c := int64(0); c < 1000; c++ {
+		m.Eval(c)
+	}
+	st := m.Stats()
+	// Every ~101 cycles (interval + refresh cycle) over 1000 cycles.
+	if st.Refreshes < 8 || st.Refreshes > 10 {
+		t.Fatalf("refreshes %d", st.Refreshes)
+	}
+	if len(m.RefreshLog()) != int(st.Refreshes) {
+		t.Error("refresh log length")
+	}
+}
+
+func TestRefreshDisabled(t *testing.T) {
+	m, _ := New(Config{WaitStates: 1, CoolingPerCycle: 1})
+	for c := int64(0); c < 10000; c++ {
+		m.Eval(c)
+	}
+	if m.Stats().Refreshes != 0 {
+		t.Fatal("refresh fired while disabled")
+	}
+}
+
+func TestRefreshCollisionDelaysAccess(t *testing.T) {
+	cfg := DefaultConfig(25)
+	cfg.BaseIntervalCycles = 50
+	cfg.MinIntervalCycles = 10
+	cfg.IntervalSlopeCyclesPerC = 0
+	cfg.HeatPerAccessC = 0
+	m, _ := New(cfg)
+	// Advance until a refresh is in progress, then request.
+	var cycle int64
+	for m.refreshBusy == 0 {
+		m.Eval(cycle)
+		cycle++
+		if cycle > 1000 {
+			t.Fatal("no refresh started")
+		}
+	}
+	m.Request(cycle, 0x40, false, 0)
+	// WaitStates=1 plus 1 refresh cycle pending = 2 not-done polls.
+	n := 0
+	for {
+		_, done := m.Poll(cycle)
+		cycle++
+		if done {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("refresh collision added %d wait cycles, want 2", n)
+	}
+	if m.Stats().Collisions != 1 {
+		t.Fatal("collision not counted")
+	}
+	if len(m.CollisionLog()) != 1 {
+		t.Fatal("collision log")
+	}
+}
+
+func TestRefreshPostponedWhileBusy(t *testing.T) {
+	cfg := DefaultConfig(25)
+	cfg.BaseIntervalCycles = 10
+	cfg.MinIntervalCycles = 5
+	cfg.IntervalSlopeCyclesPerC = 0
+	cfg.HeatPerAccessC = 0
+	m, _ := New(cfg)
+	// Keep the device busy across the refresh due point.
+	for c := int64(0); c < 9; c++ {
+		m.Eval(c)
+	}
+	m.Request(9, 0x40, false, 0)
+	m.Eval(10) // refresh due now, but busy
+	m.Eval(11)
+	if m.Stats().Refreshes != 0 {
+		t.Fatal("refresh fired while access in flight")
+	}
+	for c := int64(12); ; c++ {
+		if _, done := m.Poll(c); done {
+			break
+		}
+	}
+	m.Eval(20) // now idle: postponed refresh fires
+	if m.Stats().Refreshes != 1 {
+		t.Fatal("postponed refresh did not fire")
+	}
+}
+
+func TestThermalModel(t *testing.T) {
+	cfg := DefaultConfig(25)
+	m, _ := New(cfg)
+	if m.TemperatureC() != 25 {
+		t.Fatal("initial temperature")
+	}
+	for i := 0; i < 100; i++ {
+		m.Request(int64(i), 0x40, false, 0)
+		for {
+			if _, done := m.Poll(int64(i)); done {
+				break
+			}
+		}
+	}
+	warm := m.TemperatureC()
+	if warm <= 25 {
+		t.Fatal("accesses did not heat the die")
+	}
+	// Idle cooling brings it back toward ambient.
+	for c := int64(0); c < 200000; c++ {
+		m.Eval(c)
+	}
+	if m.TemperatureC() >= warm {
+		t.Fatal("die did not cool")
+	}
+}
+
+func TestCompensationShortensInterval(t *testing.T) {
+	cold, _ := New(DefaultConfig(25))
+	hot, _ := New(DefaultConfig(85))
+	if hot.interval() >= cold.interval() {
+		t.Fatalf("interval cold=%d hot=%d", cold.interval(), hot.interval())
+	}
+	// Floor respected.
+	boiling, _ := New(DefaultConfig(500))
+	if boiling.interval() != DefaultConfig(500).MinIntervalCycles {
+		t.Fatal("interval floor not applied")
+	}
+}
+
+func TestHotterRefreshesMoreOften(t *testing.T) {
+	run := func(ambient float64) int64 {
+		m, _ := New(DefaultConfig(ambient))
+		for c := int64(0); c < 50000; c++ {
+			m.Eval(c)
+		}
+		return m.Stats().Refreshes
+	}
+	if run(85) <= run(25) {
+		t.Fatal("hotter device should refresh more often")
+	}
+}

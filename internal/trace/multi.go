@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// MultiLogger traces several wires in lockstep, one logging pipeline
+// per signal — the deployment shape of Figure 3, where each traced
+// on-chip signal gets its own agg-log instance but all share the clock
+// and the trace-cycle grid, so their entries stay aligned and a
+// postmortem query can correlate signals at the same trace-cycle.
+type MultiLogger struct {
+	enc     *encoding.Encoding
+	names   []string
+	loggers []*core.Logger
+	stores  []*Store
+}
+
+// NewMultiLogger creates aligned loggers for the named wires.
+func NewMultiLogger(enc *encoding.Encoding, clockHz float64, names []string) (*MultiLogger, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("trace: no signals")
+	}
+	seen := map[string]bool{}
+	ml := &MultiLogger{enc: enc, names: append([]string(nil), names...)}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			return nil, fmt.Errorf("trace: duplicate or empty signal name %q", n)
+		}
+		seen[n] = true
+		ml.loggers = append(ml.loggers, core.NewLogger(enc))
+		ml.stores = append(ml.stores, NewStore(n, clockHz, enc.M(), enc.B()))
+	}
+	return ml, nil
+}
+
+// Tick consumes one clock-cycle of wire levels (len must match the
+// signal count). It reports whether this tick closed a trace-cycle.
+func (ml *MultiLogger) Tick(levels []bool) (bool, error) {
+	if len(levels) != len(ml.loggers) {
+		return false, fmt.Errorf("trace: %d levels for %d signals", len(levels), len(ml.loggers))
+	}
+	closed := false
+	for i, lg := range ml.loggers {
+		e, done := lg.TickValue(levels[i])
+		if done {
+			closed = true
+			if err := ml.stores[i].Append(e); err != nil {
+				return false, err
+			}
+		}
+	}
+	return closed, nil
+}
+
+// Store returns the per-signal store by name.
+func (ml *MultiLogger) Store(name string) (*Store, bool) {
+	for i, n := range ml.names {
+		if n == name {
+			return ml.stores[i], true
+		}
+	}
+	return nil, false
+}
+
+// Stores returns all stores in declaration order.
+func (ml *MultiLogger) Stores() []*Store {
+	out := make([]*Store, len(ml.stores))
+	copy(out, ml.stores)
+	return out
+}
+
+// Names returns the traced signal names.
+func (ml *MultiLogger) Names() []string {
+	out := make([]string, len(ml.names))
+	copy(out, ml.names)
+	return out
+}
+
+// TotalLogRate returns the aggregate logging bit-rate of all signals.
+func (ml *MultiLogger) TotalLogRate(clockHz float64) float64 {
+	return float64(len(ml.loggers)) * core.LogRate(ml.enc.B(), ml.enc.M(), clockHz)
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+func TestMultiLoggerAlignment(t *testing.T) {
+	enc, err := encoding.Incremental(8, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := NewMultiLogger(enc, 1e6, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a toggles at cycles 2 and 5; b toggles at 3 (within tc 0) and 9
+	// (tc 1).
+	var aLvl, bLvl bool
+	for i := 0; i < 16; i++ {
+		if i == 2 || i == 5 {
+			aLvl = !aLvl
+		}
+		if i == 3 || i == 9 {
+			bLvl = !bLvl
+		}
+		closed, err := ml.Tick([]bool{aLvl, bLvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closed != (i == 7 || i == 15) {
+			t.Fatalf("boundary flag wrong at %d", i)
+		}
+	}
+	sa, ok := ml.Store("a")
+	if !ok || sa.Len() != 2 {
+		t.Fatal("store a")
+	}
+	sb, _ := ml.Store("b")
+	ea0, _ := sa.Entry(0)
+	if !ea0.Equal(core.Log(enc, core.SignalFromChanges(8, 2, 5))) {
+		t.Error("a entry 0")
+	}
+	eb1, _ := sb.Entry(1)
+	if !eb1.Equal(core.Log(enc, core.SignalFromChanges(8, 1))) {
+		t.Error("b entry 1")
+	}
+	if _, ok := ml.Store("c"); ok {
+		t.Error("phantom store")
+	}
+	if len(ml.Stores()) != 2 || len(ml.Names()) != 2 {
+		t.Error("accessors")
+	}
+}
+
+func TestMultiLoggerValidation(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	if _, err := NewMultiLogger(enc, 1e6, nil); err == nil {
+		t.Error("empty signal list accepted")
+	}
+	if _, err := NewMultiLogger(enc, 1e6, []string{"a", "a"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	ml, _ := NewMultiLogger(enc, 1e6, []string{"a", "b"})
+	if _, err := ml.Tick([]bool{true}); err == nil {
+		t.Error("wrong level count accepted")
+	}
+}
+
+func TestMultiLoggerRate(t *testing.T) {
+	enc, _ := encoding.Incremental(8, 6, 4)
+	ml, _ := NewMultiLogger(enc, 1e6, []string{"a", "b", "c"})
+	single := core.LogRate(6, 8, 1e6)
+	if got := ml.TotalLogRate(1e6); got != 3*single {
+		t.Errorf("rate %f want %f", got, 3*single)
+	}
+}

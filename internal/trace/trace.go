@@ -1,0 +1,232 @@
+// Package trace provides the off-chip side of the timeprints life
+// cycle (Figure 3): a recorder that captures a wire's change instants
+// during simulation, trace-cycle segmentation, and the central store
+// that keeps logged timeprints until they are consulted in the
+// postmortem phase — indexed so the entry covering an absolute time
+// window can be retrieved.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// Recorder captures the change instants of a single wire, cycle by
+// cycle, as a reference (simulation-side) trace.
+type Recorder struct {
+	prev    bool
+	first   bool
+	cycle   int64
+	changes []int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{first: true} }
+
+// Sample consumes the wire level of the next clock-cycle.
+func (r *Recorder) Sample(v bool) {
+	if r.first {
+		r.first = false
+	} else if v != r.prev {
+		r.changes = append(r.changes, r.cycle)
+	}
+	r.prev = v
+	r.cycle++
+}
+
+// SampleChange consumes an explicit per-cycle change flag.
+func (r *Recorder) SampleChange(changed bool) {
+	if changed {
+		r.changes = append(r.changes, r.cycle)
+	}
+	r.cycle++
+}
+
+// Cycles returns how many cycles were consumed.
+func (r *Recorder) Cycles() int64 { return r.cycle }
+
+// Changes returns the recorded change instants.
+func (r *Recorder) Changes() []int64 {
+	out := make([]int64, len(r.changes))
+	copy(out, r.changes)
+	return out
+}
+
+// Segment splits the recorded changes into per-trace-cycle signals of
+// length m; the recording is truncated to whole trace-cycles.
+func (r *Recorder) Segment(m int) []core.Signal {
+	n := r.cycle / int64(m)
+	out := make([]core.Signal, n)
+	for i := range out {
+		out[i] = core.NewSignal(m)
+	}
+	for _, c := range r.changes {
+		tc := c / int64(m)
+		if tc < n {
+			v := out[tc].Vector()
+			v.Set(int(c%int64(m)), true)
+			out[tc] = core.SignalFromVector(v)
+		}
+	}
+	return out
+}
+
+// Store is the central timeprint database: a sequence of log entries
+// for one traced signal, tagged with the trace parameters needed to
+// map absolute time to trace-cycle indices.
+type Store struct {
+	// SignalName identifies the traced wire.
+	SignalName string
+	// ClockHz is the traced signal's clock rate.
+	ClockHz float64
+	// M is the trace-cycle length; B the timeprint width.
+	M, B int
+	// Epoch is the absolute time (seconds) of clock-cycle 0.
+	Epoch float64
+
+	entries []core.LogEntry
+}
+
+// NewStore returns an empty store with the given parameters.
+func NewStore(name string, clockHz float64, m, b int) *Store {
+	return &Store{SignalName: name, ClockHz: clockHz, M: m, B: b}
+}
+
+// Append adds entries in trace-cycle order.
+func (s *Store) Append(entries ...core.LogEntry) error {
+	for _, e := range entries {
+		if e.TP.Width() != s.B {
+			return fmt.Errorf("trace: entry width %d, want %d", e.TP.Width(), s.B)
+		}
+		if e.K < 0 || e.K > s.M {
+			return fmt.Errorf("trace: entry k=%d outside [0,%d]", e.K, s.M)
+		}
+		s.entries = append(s.entries, e)
+	}
+	return nil
+}
+
+// Len returns the number of stored trace-cycles.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Entry returns the entry of trace-cycle tc.
+func (s *Store) Entry(tc int) (core.LogEntry, error) {
+	if tc < 0 || tc >= len(s.entries) {
+		return core.LogEntry{}, fmt.Errorf("trace: trace-cycle %d outside [0,%d)", tc, len(s.entries))
+	}
+	return s.entries[tc], nil
+}
+
+// Entries returns all stored entries.
+func (s *Store) Entries() []core.LogEntry {
+	out := make([]core.LogEntry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// TraceCycleAt returns the index of the trace-cycle covering the
+// absolute time t (seconds), and the clock-cycle within it.
+func (s *Store) TraceCycleAt(t float64) (tc int, cycle int, err error) {
+	if t < s.Epoch {
+		return 0, 0, fmt.Errorf("trace: time %.9fs before epoch %.9fs", t, s.Epoch)
+	}
+	// Floor with a small tolerance: the product often lands a hair
+	// below an integer cycle boundary (e.g. (2.253580-2.2534)*5e6).
+	abs := int64(math.Floor((t-s.Epoch)*s.ClockHz + 1e-6))
+	tc = int(abs / int64(s.M))
+	cycle = int(abs % int64(s.M))
+	if tc >= len(s.entries) {
+		return 0, 0, fmt.Errorf("trace: time %.9fs beyond stored trace-cycles", t)
+	}
+	return tc, cycle, nil
+}
+
+// TraceCycleStart returns the absolute start time (seconds) of
+// trace-cycle tc.
+func (s *Store) TraceCycleStart(tc int) float64 {
+	return s.Epoch + float64(int64(tc)*int64(s.M))/s.ClockHz
+}
+
+// CycleTime returns the absolute time of clock-cycle `cycle` within
+// trace-cycle tc.
+func (s *Store) CycleTime(tc, cycle int) float64 {
+	return s.Epoch + float64(int64(tc)*int64(s.M)+int64(cycle))/s.ClockHz
+}
+
+// Mismatch is a trace-cycle where two logs disagree.
+type Mismatch struct {
+	TraceCycle int
+	KDiffers   bool // change counts differ (the wait-state-bug signature)
+	TPDiffers  bool // timeprints differ with equal k (the refresh signature)
+}
+
+// Compare diffs two stores trace-cycle by trace-cycle (up to the
+// shorter length) — the Section 5.2.2 hardware-vs-simulation check.
+func Compare(a, b *Store) ([]Mismatch, error) {
+	if a.M != b.M || a.B != b.B {
+		return nil, fmt.Errorf("trace: incompatible stores (m %d/%d, b %d/%d)", a.M, b.M, a.B, b.B)
+	}
+	n := len(a.entries)
+	if len(b.entries) < n {
+		n = len(b.entries)
+	}
+	var out []Mismatch
+	for i := 0; i < n; i++ {
+		ea, eb := a.entries[i], b.entries[i]
+		mm := Mismatch{TraceCycle: i, KDiffers: ea.K != eb.K, TPDiffers: ea.K == eb.K && !ea.TP.Equal(eb.TP)}
+		if mm.KDiffers || mm.TPDiffers {
+			out = append(out, mm)
+		}
+	}
+	return out, nil
+}
+
+// FirstMismatch returns the earliest mismatch index, or -1.
+func FirstMismatch(ms []Mismatch) int {
+	if len(ms) == 0 {
+		return -1
+	}
+	idx := ms[0].TraceCycle
+	for _, m := range ms {
+		if m.TraceCycle < idx {
+			idx = m.TraceCycle
+		}
+	}
+	return idx
+}
+
+// LogFromEncoding fills a store by abstracting recorded changes under
+// an encoding; the recorder is truncated to whole trace-cycles.
+func LogFromEncoding(name string, clockHz float64, enc *encoding.Encoding, rec *Recorder) (*Store, error) {
+	st := NewStore(name, clockHz, enc.M(), enc.B())
+	whole := rec.Cycles() / int64(enc.M()) * int64(enc.M())
+	var inRange []int64
+	for _, c := range rec.Changes() {
+		if c < whole {
+			inRange = append(inRange, c)
+		}
+	}
+	entries, err := core.LogSignalTrace(enc, inRange, whole)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Append(entries...); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ChangesInWindow filters change instants to [lo, hi) and rebases them
+// to lo.
+func ChangesInWindow(changes []int64, lo, hi int64) []int64 {
+	i := sort.Search(len(changes), func(i int) bool { return changes[i] >= lo })
+	var out []int64
+	for ; i < len(changes) && changes[i] < hi; i++ {
+		out = append(out, changes[i]-lo)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+func TestRecorderEdgeDetection(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []bool{true, true, false, false, true, true, true, false} {
+		r.Sample(v)
+	}
+	got := r.Changes()
+	want := []int64{2, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("changes %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("changes %v", got)
+		}
+	}
+	if r.Cycles() != 8 {
+		t.Errorf("cycles %d", r.Cycles())
+	}
+}
+
+func TestRecorderSampleChange(t *testing.T) {
+	r := NewRecorder()
+	r.SampleChange(false)
+	r.SampleChange(true)
+	r.SampleChange(false)
+	if ch := r.Changes(); len(ch) != 1 || ch[0] != 1 {
+		t.Fatalf("changes %v", ch)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	r := NewRecorder()
+	for i := int64(0); i < 20; i++ {
+		r.SampleChange(i == 3 || i == 8 || i == 17 || i == 19)
+	}
+	segs := r.Segment(8) // 20 cycles -> 2 whole trace-cycles
+	if len(segs) != 2 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if !segs[0].Equal(core.SignalFromChanges(8, 3)) {
+		t.Errorf("segment 0: %s", segs[0])
+	}
+	if !segs[1].Equal(core.SignalFromChanges(8, 0)) {
+		t.Errorf("segment 1: %s", segs[1])
+	}
+}
+
+func TestStoreAppendAndRetrieve(t *testing.T) {
+	enc, err := encoding.Incremental(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore("sig", 100e6, 16, 8)
+	e0 := core.Log(enc, core.SignalFromChanges(16, 1))
+	e1 := core.Log(enc, core.SignalFromChanges(16, 2, 3))
+	if err := st.Append(e0, e1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatal("len")
+	}
+	got, err := st.Entry(1)
+	if err != nil || !got.Equal(e1) {
+		t.Fatal("entry 1")
+	}
+	if _, err := st.Entry(2); err == nil {
+		t.Error("out of range accepted")
+	}
+	if _, err := st.Entry(-1); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestStoreValidatesEntries(t *testing.T) {
+	st := NewStore("sig", 1e6, 16, 8)
+	enc, _ := encoding.Incremental(16, 9, 4)
+	bad := core.Log(enc, core.SignalFromChanges(16, 0)) // width 9 != 8
+	if err := st.Append(bad); err == nil {
+		t.Error("wrong width accepted")
+	}
+	if err := st.Append(core.LogEntry{TP: core.Log(encMust(t), core.NewSignal(16)).TP, K: 17}); err == nil {
+		t.Error("k > m accepted")
+	}
+}
+
+func encMust(t *testing.T) *encoding.Encoding {
+	t.Helper()
+	e, err := encoding.Incremental(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTimeIndexing(t *testing.T) {
+	st := NewStore("sig", 5e6, 1000, 24) // the CAN experiment geometry
+	st.Epoch = 2.2534
+	enc, err := encoding.Incremental(1000, 24, 2) // cheap depth for the test
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Append(core.Log(enc, core.NewSignal(1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The paper's deadline 2.253580 s lies in trace-cycle 0 at clock
+	// (2.253580-2.2534)*5e6 = 900.
+	tc, cyc, err := st.TraceCycleAt(2.253580)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc != 0 || cyc != 900 {
+		t.Fatalf("tc=%d cyc=%d", tc, cyc)
+	}
+	if got := st.TraceCycleStart(1); math.Abs(got-2.2536) > 1e-12 {
+		t.Errorf("start of tc1: %.9f", got)
+	}
+	if got := st.CycleTime(0, 823); math.Abs(got-2.2535646) > 1e-9 {
+		t.Errorf("cycle 823 time: %.9f", got)
+	}
+	if _, _, err := st.TraceCycleAt(2.0); err == nil {
+		t.Error("pre-epoch time accepted")
+	}
+	if _, _, err := st.TraceCycleAt(3.0); err == nil {
+		t.Error("beyond-store time accepted")
+	}
+}
+
+func TestCompareStores(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 8, 4)
+	a := NewStore("hw", 1e6, 16, 8)
+	b := NewStore("sim", 1e6, 16, 8)
+	s0 := core.SignalFromChanges(16, 1, 2)
+	s1 := core.SignalFromChanges(16, 5, 6)
+	s1shift := core.SignalFromChanges(16, 5, 7) // same k, different cycles
+	s2 := core.SignalFromChanges(16, 9)
+	s2extra := core.SignalFromChanges(16, 9, 10) // different k
+
+	_ = a.Append(core.Log(enc, s0), core.Log(enc, s1), core.Log(enc, s2))
+	_ = b.Append(core.Log(enc, s0), core.Log(enc, s1shift), core.Log(enc, s2extra))
+
+	ms, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("mismatches: %+v", ms)
+	}
+	if ms[0].TraceCycle != 1 || !ms[0].TPDiffers || ms[0].KDiffers {
+		t.Errorf("mismatch 0: %+v", ms[0])
+	}
+	if ms[1].TraceCycle != 2 || !ms[1].KDiffers {
+		t.Errorf("mismatch 1: %+v", ms[1])
+	}
+	if FirstMismatch(ms) != 1 {
+		t.Error("first mismatch")
+	}
+	if FirstMismatch(nil) != -1 {
+		t.Error("empty first mismatch")
+	}
+}
+
+func TestCompareIncompatible(t *testing.T) {
+	a := NewStore("a", 1e6, 16, 8)
+	b := NewStore("b", 1e6, 32, 8)
+	if _, err := Compare(a, b); err == nil {
+		t.Error("incompatible stores accepted")
+	}
+}
+
+func TestLogFromEncoding(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 8, 4)
+	rec := NewRecorder()
+	for i := int64(0); i < 35; i++ { // 2 whole trace-cycles + 3 cycles
+		rec.SampleChange(i == 2 || i == 18 || i == 33)
+	}
+	st, err := LogFromEncoding("sig", 1e6, enc, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("%d entries", st.Len())
+	}
+	e0, _ := st.Entry(0)
+	if !e0.Equal(core.Log(enc, core.SignalFromChanges(16, 2))) {
+		t.Error("entry 0")
+	}
+	e1, _ := st.Entry(1)
+	if !e1.Equal(core.Log(enc, core.SignalFromChanges(16, 2))) {
+		t.Error("entry 1")
+	}
+}
+
+func TestChangesInWindow(t *testing.T) {
+	ch := []int64{5, 10, 15, 20, 25}
+	got := ChangesInWindow(ch, 10, 21)
+	want := []int64{0, 5, 10}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v", got)
+		}
+	}
+	if ChangesInWindow(ch, 26, 30) != nil {
+		t.Error("empty window not nil")
+	}
+}

@@ -1,0 +1,187 @@
+// Package uart models the simplified USB-UART link of experiment
+// 5.2.2 through which timeprints leave the chip: an 8N1 transmitter
+// with a byte FIFO, driven at a configurable clock divisor, and a
+// matching receiver used by the test bench to reassemble the log. The
+// point the experiment makes — timeprint logging is light enough that
+// a plain UART suffices and no trace buffers are needed — shows up
+// here as FIFO-depth and bandwidth accounting.
+package uart
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+)
+
+// TX is an 8N1 UART transmitter. It implements rtl.Component and
+// drives a one-bit line wire (idle high).
+type TX struct {
+	line    *rtl.Wire
+	divisor int // clock cycles per bit
+	fifo    []byte
+	fifoCap int
+
+	shifting bool
+	shift    uint16 // start bit + 8 data + stop bit, LSB first
+	bitsLeft int
+	divCnt   int
+
+	sent    int64
+	dropped int64
+}
+
+// NewTX creates a transmitter on the line with the given clock divisor
+// (cycles per bit) and FIFO capacity.
+func NewTX(line *rtl.Wire, divisor, fifoCap int) (*TX, error) {
+	if divisor < 1 {
+		return nil, fmt.Errorf("uart: divisor %d", divisor)
+	}
+	if fifoCap < 1 {
+		return nil, fmt.Errorf("uart: fifo capacity %d", fifoCap)
+	}
+	line.Reset(1) // idle high
+	return &TX{line: line, divisor: divisor, fifoCap: fifoCap}, nil
+}
+
+// Push enqueues a byte; it reports false (and counts a drop) when the
+// FIFO is full.
+func (t *TX) Push(b byte) bool {
+	if len(t.fifo) >= t.fifoCap {
+		t.dropped++
+		return false
+	}
+	t.fifo = append(t.fifo, b)
+	return true
+}
+
+// Busy reports whether bytes remain queued or shifting.
+func (t *TX) Busy() bool { return t.shifting || len(t.fifo) > 0 }
+
+// Sent returns the count of fully transmitted bytes.
+func (t *TX) Sent() int64 { return t.sent }
+
+// Dropped returns the count of bytes rejected on a full FIFO.
+func (t *TX) Dropped() int64 { return t.dropped }
+
+// Eval implements rtl.Component.
+func (t *TX) Eval(cycle int64) {
+	if !t.shifting {
+		if len(t.fifo) == 0 {
+			t.line.Set(1)
+			return
+		}
+		b := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		// Frame: start(0), 8 data bits LSB-first, stop(1).
+		t.shift = uint16(b)<<1 | 1<<9
+		t.bitsLeft = 10
+		t.divCnt = 0
+		t.shifting = true
+	}
+	t.line.Set(uint64(t.shift & 1))
+	t.divCnt++
+	if t.divCnt == t.divisor {
+		t.divCnt = 0
+		t.shift >>= 1
+		t.bitsLeft--
+		if t.bitsLeft == 0 {
+			t.shifting = false
+			t.sent++
+		}
+	}
+}
+
+// RX is the matching receiver: it samples the line every cycle and
+// recovers bytes by mid-bit sampling. It implements rtl.Probe.
+type RX struct {
+	line    *rtl.Wire
+	divisor int
+
+	state  int // 0 idle, 1 receiving
+	cnt    int
+	target int
+	bitIdx int
+	cur    uint16
+	prev   bool
+
+	bytes       []byte
+	frameErrors int64
+}
+
+// NewRX creates a receiver for the line with the transmitter's
+// divisor.
+func NewRX(line *rtl.Wire, divisor int) (*RX, error) {
+	if divisor < 1 {
+		return nil, fmt.Errorf("uart: divisor %d", divisor)
+	}
+	return &RX{line: line, divisor: divisor, prev: true}, nil
+}
+
+// Bytes returns the received bytes.
+func (r *RX) Bytes() []byte {
+	out := make([]byte, len(r.bytes))
+	copy(out, r.bytes)
+	return out
+}
+
+// FrameErrors counts stop-bit violations.
+func (r *RX) FrameErrors() int64 { return r.frameErrors }
+
+// Observe implements rtl.Probe.
+func (r *RX) Observe(cycle int64) {
+	v := r.line.GetBool()
+	switch r.state {
+	case 0:
+		if r.prev && !v {
+			// Falling edge: start bit. The first data bit spans
+			// [edge+div, edge+2·div); sample it mid-bit at
+			// edge + div + div/2, then every div cycles.
+			r.state = 1
+			r.cnt = 0
+			r.target = r.divisor + r.divisor/2
+			r.bitIdx = 0
+			r.cur = 0
+		}
+	case 1:
+		r.cnt++
+		if r.cnt >= r.target {
+			r.cnt = 0
+			r.target = r.divisor
+			r.bitIdx++
+			switch {
+			case r.bitIdx <= 8:
+				if v {
+					r.cur |= 1 << uint(r.bitIdx-1)
+				}
+			case r.bitIdx == 9:
+				if v {
+					r.bytes = append(r.bytes, byte(r.cur))
+				} else {
+					r.frameErrors++
+				}
+				r.state = 0
+			}
+		}
+	}
+	r.prev = v
+}
+
+// BitsPerSecond returns the line rate for a given core clock.
+func BitsPerSecond(clockHz float64, divisor int) float64 {
+	return clockHz / float64(divisor)
+}
+
+// MinDivisorFor returns the largest divisor that still sustains the
+// given payload bit-rate (payload bits/s; each byte costs 10 line
+// bits), or 1 if even back-to-back bytes cannot keep up.
+func MinDivisorFor(clockHz, payloadBitsPerSec float64) int {
+	if payloadBitsPerSec <= 0 {
+		return 1 << 20
+	}
+	lineBits := payloadBitsPerSec * 10 / 8 // framing overhead
+	d := int(clockHz / lineBits)
+	if d < 1 {
+		return 1
+	}
+	return d
+}

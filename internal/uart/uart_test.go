@@ -1,0 +1,141 @@
+package uart
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+func loop(t *testing.T, divisor int, data []byte, fifoCap int) (*TX, *RX, *rtl.Simulator) {
+	t.Helper()
+	sim := rtl.NewSimulator()
+	line := sim.Wire("tx", 1)
+	tx, err := NewTX(line, divisor, fifoCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewRX(line, divisor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Add(tx)
+	sim.AddProbe(rx)
+	for _, b := range data {
+		tx.Push(b)
+	}
+	return tx, rx, sim
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, div := range []int{1, 3, 8, 16} {
+		data := []byte{0x00, 0xFF, 0xA5, 0x5A, 0x01, 0x80}
+		tx, rx, sim := loop(t, div, data, 64)
+		for i := 0; i < (len(data)+2)*10*div+100; i++ {
+			sim.Step()
+		}
+		if tx.Sent() != int64(len(data)) {
+			t.Fatalf("div %d: sent %d", div, tx.Sent())
+		}
+		if !bytes.Equal(rx.Bytes(), data) {
+			t.Fatalf("div %d: got %x want %x", div, rx.Bytes(), data)
+		}
+		if rx.FrameErrors() != 0 {
+			t.Fatalf("div %d: frame errors", div)
+		}
+	}
+}
+
+func TestRandomPayload(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data := make([]byte, 50)
+	r.Read(data)
+	_, rx, sim := loop(t, 4, data, 64)
+	for i := 0; i < 60*10*4+100; i++ {
+		sim.Step()
+	}
+	if !bytes.Equal(rx.Bytes(), data) {
+		t.Fatal("random payload corrupted")
+	}
+}
+
+func TestIdleLineHigh(t *testing.T) {
+	sim := rtl.NewSimulator()
+	line := sim.Wire("tx", 1)
+	tx, _ := NewTX(line, 4, 8)
+	sim.Add(tx)
+	sim.Run(50)
+	if !line.GetBool() {
+		t.Fatal("idle line not high")
+	}
+	if tx.Busy() {
+		t.Fatal("idle tx busy")
+	}
+}
+
+func TestFIFOOverflow(t *testing.T) {
+	sim := rtl.NewSimulator()
+	line := sim.Wire("tx", 1)
+	tx, _ := NewTX(line, 4, 2)
+	sim.Add(tx)
+	if !tx.Push(1) || !tx.Push(2) {
+		t.Fatal("fifo rejected within capacity")
+	}
+	if tx.Push(3) {
+		t.Fatal("fifo accepted over capacity")
+	}
+	if tx.Dropped() != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sim := rtl.NewSimulator()
+	line := sim.Wire("tx", 1)
+	if _, err := NewTX(line, 0, 8); err == nil {
+		t.Error("divisor 0 accepted")
+	}
+	if _, err := NewTX(line, 4, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewRX(line, 0); err == nil {
+		t.Error("rx divisor 0 accepted")
+	}
+}
+
+func TestRates(t *testing.T) {
+	if BitsPerSecond(50e6, 434) < 115000 || BitsPerSecond(50e6, 434) > 116000 {
+		t.Error("115200-ish rate wrong")
+	}
+	// The experiment's payload: 34 bits per 1024-cycle trace-cycle at
+	// 50 MHz is a 1.66 Mbit/s payload; with 10/8 framing overhead the
+	// line must run at ~2.08 Mbit/s, i.e. divisor 24.
+	if d := MinDivisorFor(50e6, 34.0/1024*50e6); d != 24 {
+		t.Errorf("divisor %d, want 24", d)
+	}
+	if MinDivisorFor(1, 1e12) != 1 {
+		t.Error("fast payload should clamp to 1")
+	}
+}
+
+func TestBackToBackBytes(t *testing.T) {
+	// Push bytes while transmitting: all must arrive in order.
+	sim := rtl.NewSimulator()
+	line := sim.Wire("tx", 1)
+	tx, _ := NewTX(line, 2, 64)
+	rx, _ := NewRX(line, 2)
+	sim.Add(tx)
+	sim.AddProbe(rx)
+	var want []byte
+	for i := 0; i < 30; i++ {
+		b := byte(i * 7)
+		want = append(want, b)
+		tx.Push(b)
+		sim.Run(25) // slightly more than one frame at div 2
+	}
+	sim.Run(500)
+	if !bytes.Equal(rx.Bytes(), want) {
+		t.Fatalf("got %x want %x", rx.Bytes(), want)
+	}
+}

@@ -1,0 +1,26 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary text never panics the VCD parser.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("$enddefinitions $end\n#5\n1!\n")
+	f.Add("")
+	f.Add("$timescale 1 ns $end")
+	f.Fuzz(func(t *testing.T, doc string) {
+		file, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Accepted documents support change queries on every variable.
+		for _, v := range file.Vars {
+			if _, err := file.ChangeInstants(v.Name); err != nil {
+				t.Fatalf("declared variable unreadable: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,332 @@
+// Package vcd reads and writes IEEE 1364 Value Change Dump files, the
+// interchange format RTL simulators (like the Questa-Sim run of
+// experiment 5.2.2) produce. It supports the subset needed for
+// timeprint workflows: scalar and vector variables, $timescale,
+// $dumpvars initialization, and #-timestamped value changes — enough
+// to pull a reference trace of a traced wire out of a simulator dump,
+// or to render a reconstructed signal for a waveform viewer.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Change is one recorded value change of one variable.
+type Change struct {
+	// Time in timescale units.
+	Time int64
+	// Value is the new value ('0'/'1'/'x'/'z' for scalars; for vectors
+	// the bit string without the leading 'b').
+	Value string
+}
+
+// Variable is a declared signal.
+type Variable struct {
+	ID    string // the short identifier code
+	Name  string // hierarchical name (scope.name)
+	Width int
+	Type  string // wire, reg, …
+}
+
+// File is a parsed VCD document.
+type File struct {
+	TimescaleValue int
+	TimescaleUnit  string // s, ms, us, ns, ps, fs
+	Vars           []Variable
+	// Changes maps variable ID to its time-ordered change list.
+	Changes map[string][]Change
+	// End is the largest timestamp seen.
+	End int64
+}
+
+// FindVar locates a variable by exact name or by unqualified suffix.
+func (f *File) FindVar(name string) (Variable, bool) {
+	for _, v := range f.Vars {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	for _, v := range f.Vars {
+		if strings.HasSuffix(v.Name, "."+name) || v.Name == name {
+			return v, true
+		}
+	}
+	return Variable{}, false
+}
+
+// Parse reads a VCD document.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Changes: map[string][]Change{}, TimescaleValue: 1, TimescaleUnit: "ns"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var scope []string
+	now := int64(0)
+	inDefs := true
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$timescale"):
+			body, err := collectDirective(sc, line)
+			if err != nil {
+				return nil, err
+			}
+			if err := f.parseTimescale(body); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "$scope"):
+			fields := strings.Fields(line)
+			if len(fields) >= 3 {
+				scope = append(scope, fields[2])
+			}
+		case strings.HasPrefix(line, "$upscope"):
+			if len(scope) > 0 {
+				scope = scope[:len(scope)-1]
+			}
+		case strings.HasPrefix(line, "$var"):
+			fields := strings.Fields(line)
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("vcd: malformed $var: %q", line)
+			}
+			width, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad width in %q", line)
+			}
+			name := fields[4]
+			if len(scope) > 0 {
+				name = strings.Join(scope, ".") + "." + name
+			}
+			f.Vars = append(f.Vars, Variable{ID: fields[3], Name: name, Width: width, Type: fields[1]})
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$dumpvars"), strings.HasPrefix(line, "$end"),
+			strings.HasPrefix(line, "$comment"), strings.HasPrefix(line, "$date"),
+			strings.HasPrefix(line, "$version"), strings.HasPrefix(line, "$dumpall"),
+			strings.HasPrefix(line, "$dumpon"), strings.HasPrefix(line, "$dumpoff"):
+			// Skip through to $end for multi-line directives.
+			if !strings.Contains(line, "$end") && strings.HasPrefix(line, "$") &&
+				(strings.HasPrefix(line, "$comment") || strings.HasPrefix(line, "$date") || strings.HasPrefix(line, "$version")) {
+				if _, err := collectDirective(sc, line); err != nil {
+					return nil, err
+				}
+			}
+		case strings.HasPrefix(line, "#"):
+			t, err := strconv.ParseInt(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad timestamp %q", line)
+			}
+			if t < now {
+				return nil, fmt.Errorf("vcd: timestamp %d goes backwards from %d", t, now)
+			}
+			now = t
+			if t > f.End {
+				f.End = t
+			}
+		default:
+			if inDefs {
+				continue
+			}
+			if err := f.parseValueChange(line, now); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// collectDirective gathers tokens of a directive until $end.
+func collectDirective(sc *bufio.Scanner, first string) (string, error) {
+	body := strings.TrimPrefix(first, "$")
+	if i := strings.Index(body, " "); i >= 0 {
+		body = body[i+1:]
+	} else {
+		body = ""
+	}
+	if strings.Contains(first, "$end") {
+		return strings.TrimSpace(strings.Replace(body, "$end", "", 1)), nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.Contains(line, "$end") {
+			body += " " + strings.TrimSpace(strings.Replace(line, "$end", "", 1))
+			return strings.TrimSpace(body), nil
+		}
+		body += " " + line
+	}
+	return "", fmt.Errorf("vcd: unterminated directive")
+}
+
+func (f *File) parseTimescale(body string) error {
+	body = strings.TrimSpace(body)
+	// Forms: "1ns", "1 ns", "10 us".
+	i := 0
+	for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return fmt.Errorf("vcd: bad timescale %q", body)
+	}
+	v, err := strconv.Atoi(body[:i])
+	if err != nil {
+		return err
+	}
+	unit := strings.TrimSpace(body[i:])
+	switch unit {
+	case "s", "ms", "us", "ns", "ps", "fs":
+	default:
+		return fmt.Errorf("vcd: bad timescale unit %q", unit)
+	}
+	f.TimescaleValue, f.TimescaleUnit = v, unit
+	return nil
+}
+
+func (f *File) parseValueChange(line string, now int64) error {
+	switch line[0] {
+	case '0', '1', 'x', 'X', 'z', 'Z':
+		id := line[1:]
+		if id == "" {
+			return fmt.Errorf("vcd: scalar change without id: %q", line)
+		}
+		f.Changes[id] = append(f.Changes[id], Change{Time: now, Value: strings.ToLower(line[:1])})
+	case 'b', 'B':
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("vcd: malformed vector change %q", line)
+		}
+		f.Changes[fields[1]] = append(f.Changes[fields[1]], Change{Time: now, Value: strings.ToLower(fields[0][1:])})
+	case 'r', 'R':
+		// Real values: tolerated, stored verbatim.
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("vcd: malformed real change %q", line)
+		}
+		f.Changes[fields[1]] = append(f.Changes[fields[1]], Change{Time: now, Value: fields[0][1:]})
+	default:
+		return fmt.Errorf("vcd: unrecognized value change %q", line)
+	}
+	return nil
+}
+
+// ChangeInstants returns the clock-cycles at which the named variable
+// changed value, treating one timescale unit as one clock-cycle and
+// ignoring the initial $dumpvars assignment at time 0 (establishing a
+// level is not a change). Unknown values ('x', 'z') participate in
+// change detection like any other value.
+func (f *File) ChangeInstants(name string) ([]int64, error) {
+	v, ok := f.FindVar(name)
+	if !ok {
+		return nil, fmt.Errorf("vcd: variable %q not found", name)
+	}
+	chs := f.Changes[v.ID]
+	var out []int64
+	var prev string
+	for i, c := range chs {
+		if i == 0 {
+			prev = c.Value
+			if c.Time > 0 {
+				// First recorded value after t=0 — treat as a change
+				// only if something was dumped at 0 for this var;
+				// without a baseline it establishes the level.
+			}
+			continue
+		}
+		if c.Value != prev {
+			out = append(out, c.Time)
+		}
+		prev = c.Value
+	}
+	return out, nil
+}
+
+// Writer emits a minimal well-formed VCD document for a set of
+// scalar/vector variables.
+type Writer struct {
+	w      *bufio.Writer
+	vars   []Variable
+	opened bool
+	now    int64
+	hasNow bool
+}
+
+// NewWriter starts a document with the given timescale.
+func NewWriter(w io.Writer, timescale string, vars []Variable) (*Writer, error) {
+	out := &Writer{w: bufio.NewWriter(w), vars: vars}
+	fmt.Fprintf(out.w, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(out.w, "$scope module timeprints $end\n")
+	ids := map[string]bool{}
+	for _, v := range vars {
+		if v.ID == "" || ids[v.ID] {
+			return nil, fmt.Errorf("vcd: duplicate or empty id %q", v.ID)
+		}
+		ids[v.ID] = true
+		typ := v.Type
+		if typ == "" {
+			typ = "wire"
+		}
+		fmt.Fprintf(out.w, "$var %s %d %s %s $end\n", typ, v.Width, v.ID, v.Name)
+	}
+	fmt.Fprintf(out.w, "$upscope $end\n$enddefinitions $end\n")
+	return out, nil
+}
+
+// Emit records a value change at the given time (monotone
+// non-decreasing).
+func (w *Writer) Emit(t int64, id, value string) error {
+	if w.hasNow && t < w.now {
+		return fmt.Errorf("vcd: time %d before %d", t, w.now)
+	}
+	if !w.hasNow || t != w.now {
+		fmt.Fprintf(w.w, "#%d\n", t)
+		w.now, w.hasNow = t, true
+	}
+	if len(value) == 1 {
+		fmt.Fprintf(w.w, "%s%s\n", value, id)
+	} else {
+		fmt.Fprintf(w.w, "b%s %s\n", value, id)
+	}
+	return nil
+}
+
+// Close flushes the document.
+func (w *Writer) Close() error { return w.w.Flush() }
+
+// WriteSignal renders a change-instant list as a single-bit VCD wire
+// toggling at each instant, starting low at time 0.
+func WriteSignal(w io.Writer, name string, changes []int64, end int64) error {
+	vw, err := NewWriter(w, "1ns", []Variable{{ID: "!", Name: name, Width: 1}})
+	if err != nil {
+		return err
+	}
+	sorted := append([]int64(nil), changes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if err := vw.Emit(0, "!", "0"); err != nil {
+		return err
+	}
+	level := false
+	for _, c := range sorted {
+		level = !level
+		val := "0"
+		if level {
+			val = "1"
+		}
+		if err := vw.Emit(c, "!", val); err != nil {
+			return err
+		}
+	}
+	if end > 0 {
+		fmt.Fprintf(vw.w, "#%d\n", end)
+	}
+	return vw.Close()
+}

@@ -1,0 +1,228 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/trace"
+)
+
+const sample = `$date today $end
+$version hand-written $end
+$timescale 1 ns $end
+$scope module top $end
+$var wire 1 ! clk $end
+$var wire 1 " sig $end
+$scope module sub $end
+$var wire 8 # addr $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+0"
+b00000000 #
+$end
+#5
+1!
+1"
+#10
+0!
+b00000001 #
+#15
+1!
+0"
+#20
+0!
+`
+
+func TestParseStructure(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TimescaleValue != 1 || f.TimescaleUnit != "ns" {
+		t.Errorf("timescale %d%s", f.TimescaleValue, f.TimescaleUnit)
+	}
+	if len(f.Vars) != 3 {
+		t.Fatalf("vars: %+v", f.Vars)
+	}
+	if v, ok := f.FindVar("top.sub.addr"); !ok || v.Width != 8 {
+		t.Error("qualified lookup failed")
+	}
+	if v, ok := f.FindVar("sig"); !ok || v.Name != "top.sig" {
+		t.Error("suffix lookup failed")
+	}
+	if _, ok := f.FindVar("nope"); ok {
+		t.Error("phantom variable found")
+	}
+	if f.End != 20 {
+		t.Errorf("end %d", f.End)
+	}
+}
+
+func TestChangeInstants(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sig: 0@0 (baseline), 1@5, 0@15 -> changes at 5, 15.
+	ch, err := f.ChangeInstants("sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 2 || ch[0] != 5 || ch[1] != 15 {
+		t.Fatalf("sig changes %v", ch)
+	}
+	// addr: vector change at 10 only.
+	ch, err = f.ChangeInstants("addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 1 || ch[0] != 10 {
+		t.Fatalf("addr changes %v", ch)
+	}
+	// clk toggles at 5, 10, 15, 20.
+	ch, _ = f.ChangeInstants("clk")
+	if len(ch) != 4 {
+		t.Fatalf("clk changes %v", ch)
+	}
+	if _, err := f.ChangeInstants("ghost"); err == nil {
+		t.Error("missing variable accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"$timescale 1 lightyears $end\n$enddefinitions $end\n",
+		"$enddefinitions $end\n#5\n#3\n", // time going backwards
+		"$enddefinitions $end\n#5\nqqq\n",
+		"$var wire x ! sig $end\n",
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "1ns", []Variable{
+		{ID: "!", Name: "a", Width: 1},
+		{ID: "\"", Name: "bus", Width: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEmit := func(tm int64, id, v string) {
+		t.Helper()
+		if err := w.Emit(tm, id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEmit(0, "!", "0")
+	mustEmit(0, "\"", "0000")
+	mustEmit(3, "!", "1")
+	mustEmit(7, "\"", "1010")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	ch, err := f.ChangeInstants("a")
+	if err != nil || len(ch) != 1 || ch[0] != 3 {
+		t.Fatalf("a changes %v %v", ch, err)
+	}
+	ch, _ = f.ChangeInstants("bus")
+	if len(ch) != 1 || ch[0] != 7 {
+		t.Fatalf("bus changes %v", ch)
+	}
+}
+
+func TestWriterRejectsBackwardsTime(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "1ns", []Variable{{ID: "!", Name: "a", Width: 1}})
+	_ = w.Emit(5, "!", "1")
+	if err := w.Emit(3, "!", "0"); err == nil {
+		t.Error("backwards time accepted")
+	}
+}
+
+func TestWriterRejectsDuplicateIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, "1ns", []Variable{
+		{ID: "!", Name: "a", Width: 1}, {ID: "!", Name: "b", Width: 1},
+	}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestWriteSignalRoundTrip(t *testing.T) {
+	changes := []int64{3, 7, 20, 21}
+	var buf bytes.Buffer
+	if err := WriteSignal(&buf, "traced", changes, 32); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ChangeInstants("traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(changes) {
+		t.Fatalf("round trip %v != %v", got, changes)
+	}
+	for i := range changes {
+		if got[i] != changes[i] {
+			t.Fatalf("round trip %v != %v", got, changes)
+		}
+	}
+}
+
+func TestVCDToTimeprintPipeline(t *testing.T) {
+	// The full workflow: simulator dump -> change instants -> timeprint
+	// log; then verify against direct logging.
+	enc, err := encoding.Incremental(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := []int64{2, 3, 9, 10, 18, 30, 31, 40}
+	var buf bytes.Buffer
+	if err := WriteSignal(&buf, "sig", changes, 48); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ChangeInstants("sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := core.LogSignalTrace(enc, got, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.LogSignalTrace(enc, changes, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatal("length mismatch")
+	}
+	for i := range want {
+		if !entries[i].Equal(want[i]) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	_ = trace.Store{} // documents the downstream destination type
+}
