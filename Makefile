@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench-smoke
+
+# check is the canonical verification gate: formatting, vet, build,
+# the full test suite under the race detector, and a single-pass run
+# of the Figure 4 benchmark as an end-to-end smoke test.
+check: fmt vet build race bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkFigure4 -benchtime=1x .

@@ -15,7 +15,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/experiments"
+	"repro/internal/properties"
 	"repro/internal/reconstruct"
+	"repro/internal/sat"
 )
 
 // benchBudget caps each SAT call inside the table benchmarks. The
@@ -253,6 +255,78 @@ func BenchmarkAblationSATvsBruteForce(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPresolveOnOff quantifies the GF(2) Gaussian presolve: the
+// same reconstruction with and without row reduction ahead of the SAT
+// encoding. The presolve drops b − rank redundant parity rows and
+// fixes unit-row positions before the solver ever runs.
+func BenchmarkPresolveOnOff(b *testing.B) {
+	for _, c := range []struct{ m, k int }{{128, 4}, {512, 8}} {
+		enc, err := bench.CachedEncoding("incremental", c.m, bench.PaperB[c.m], 4, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := core.Log(enc, bench.PlantedSignal(c.m, c.k))
+		for _, mode := range []struct {
+			name string
+			opts reconstruct.Options
+		}{
+			{"presolve", reconstruct.Options{MaxConflicts: benchBudget}},
+			{"raw", reconstruct.Options{NoPresolve: true, MaxConflicts: benchBudget}},
+		} {
+			b.Run(fmt.Sprintf("m=%d/k=%d/%s", c.m, c.k, mode.name), func(b *testing.B) {
+				var fixed, freed float64
+				for i := 0; i < b.N; i++ {
+					rec, err := reconstruct.New(enc, entry, nil, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, st, err := rec.First(); err != nil || st != sat.Sat {
+						b.Fatalf("status %v err %v", st, err)
+					}
+					ps := rec.Stats().Presolve
+					fixed, freed = float64(ps.Fixed), float64(ps.Freed)
+				}
+				b.ReportMetric(fixed, "fixed")
+				b.ReportMetric(freed, "freed")
+			})
+		}
+	}
+}
+
+// BenchmarkParallelWorkers exercises the cube-split portfolio across
+// worker counts on a full enumeration with a fixed amount of total
+// work that the cubes partition: a window-restricted m = 512 instance
+// (the paper's failure-window query shape) whose ~1.5k candidates are
+// exhausted in seconds serially. Wall-clock speedup needs real cores —
+// with GOMAXPROCS=1 the portfolio degenerates to sequential cube
+// processing and this benchmark measures its overhead instead.
+func BenchmarkParallelWorkers(b *testing.B) {
+	const m, window = 512, 26
+	enc, err := bench.CachedEncoding("incremental", m, bench.PaperB[m], 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entry := core.Log(enc, core.SignalFromChanges(m, 2, 7, 11, 15, 19, 21, 23, 25))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var count float64
+			for i := 0; i < b.N; i++ {
+				rec, err := reconstruct.New(enc, entry,
+					[]reconstruct.Constraint{properties.Window{Lo: 0, Hi: window}}, reconstruct.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sigs, exhausted := rec.EnumerateParallel(0, workers)
+				if !exhausted {
+					b.Fatal("enumeration not exhausted")
+				}
+				count = float64(len(sigs))
+			}
+			b.ReportMetric(count, "candidates")
+		})
+	}
 }
 
 // BenchmarkAblationLIDepth quantifies what the LI-4 constraint buys:

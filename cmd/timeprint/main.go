@@ -8,7 +8,7 @@
 //	timeprint decode -in x.tpr                   print a binary log
 //	timeprint reconstruct -m 64 -b 13 -tp <bits> -k 3 [-limit 10]
 //	              [-window lo:hi] [-deadline D] [-paired]
-//	              [-prop "mingap(3); dk(32,3)"]
+//	              [-prop "mingap(3); dk(32,3)"] [-parallel N]
 //	timeprint rate -m 1024 -b 24 -clock 100e6    logging bit-rate
 //
 // The wire dump format is one '0' or '1' per clock-cycle (whitespace
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -192,8 +193,12 @@ func cmdReconstruct(args []string) {
 	deadline := fs.Int("deadline", -1, "require >=1 change before this cycle")
 	paired := fs.Bool("paired", false, "changes come in adjacent pairs")
 	propSpec := fs.String("prop", "", "property expression, e.g. \"mingap(3); dk(32,3)\"")
+	parallel := fs.Int("parallel", 1, "cube-split solver workers (1 = serial, 0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 	enc := newEncoding(*m, *b)
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	if len(*tp) != *b {
 		fail(fmt.Errorf("timeprint must be exactly %d bits", *b))
@@ -235,7 +240,13 @@ func cmdReconstruct(args []string) {
 	if err != nil {
 		fail(err)
 	}
-	sigs, complete := rec.Enumerate(*limit)
+	var sigs []timeprints.Signal
+	var complete bool
+	if *parallel > 1 {
+		sigs, complete = rec.EnumerateParallel(*limit, *parallel)
+	} else {
+		sigs, complete = rec.Enumerate(*limit)
+	}
 	for _, s := range sigs {
 		fmt.Printf("%s  changes=%v\n", s, s.Changes())
 	}

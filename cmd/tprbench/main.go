@@ -10,13 +10,17 @@
 //	tprbench -all              everything
 //
 // -quick restricts the tables to the small m values; -maxconflicts
-// bounds each SAT query (0 = unlimited).
+// bounds each SAT query (0 = unlimited); -parallel N runs the
+// experiments with N workers (cube-split SAT portfolio for the CAN
+// queries, concurrent simulations and localizations for refresh/sweep;
+// 1 = the paper's serial tool, 0 = GOMAXPROCS).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
@@ -28,7 +32,11 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "restrict tables to small m")
 	maxConflicts := flag.Int64("maxconflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
+	parallel := flag.Int("parallel", 1, "experiment worker count (1 = serial, 0 = GOMAXPROCS)")
 	flag.Parse()
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	ran := false
 	progress := func(s string) { fmt.Fprintf(os.Stderr, "... %s\n", s) }
@@ -59,7 +67,9 @@ func main() {
 	if *all || *exp == "can" {
 		ran = true
 		fmt.Println("== Section 5.2.1: CAN bus communication ==")
-		res, err := experiments.RunCAN(experiments.DefaultCANConfig())
+		canCfg := experiments.DefaultCANConfig()
+		canCfg.Parallel = *parallel
+		res, err := experiments.RunCAN(canCfg)
 		if err != nil {
 			fail(err)
 		}
@@ -75,7 +85,9 @@ func main() {
 	if *all || *exp == "refresh" {
 		ran = true
 		fmt.Println("== Section 5.2.2: temperature-compensated refresh effects (ambient 45C) ==")
-		res, err := experiments.RunRefresh(experiments.DefaultRefreshConfig(45))
+		refCfg := experiments.DefaultRefreshConfig(45)
+		refCfg.Parallel = *parallel
+		res, err := experiments.RunRefresh(refCfg)
 		if err != nil {
 			fail(err)
 		}
@@ -94,7 +106,9 @@ func main() {
 	if *all || *exp == "sweep" {
 		ran = true
 		fmt.Println("== Section 5.2.2: mismatch onset vs temperature ==")
-		sweep, err := experiments.RefreshSweep(experiments.DefaultRefreshConfig(0), []float64{25, 45, 65, 85})
+		sweepCfg := experiments.DefaultRefreshConfig(0)
+		sweepCfg.Parallel = *parallel
+		sweep, err := experiments.RefreshSweep(sweepCfg, []float64{25, 45, 65, 85})
 		if err != nil {
 			fail(err)
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/can"
@@ -38,6 +39,10 @@ type CANConfig struct {
 	// WindowLo is the start of the known failure window (paper: the
 	// window 2.253533 s – 2.253600 s, cycles 665..1000).
 	WindowLo int
+	// Parallel is the reconstruction worker count: each SAT query is
+	// solved with a cube-split portfolio of that many cloned solvers.
+	// <= 1 runs the paper's serial path.
+	Parallel int
 }
 
 // DefaultCANConfig returns the paper's parameters.
@@ -221,6 +226,9 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 				out = append(out, cs[0]) // first change = SOF = start offset
 			}
 		}
+		// Serial and cube-split enumeration deliver candidates in
+		// different orders; report offsets canonically.
+		sort.Ints(out)
 		return out
 	}
 
@@ -230,7 +238,13 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		sigs, exhausted := rec.Enumerate(0)
+		var sigs []core.Signal
+		var exhausted bool
+		if cfg.Parallel > 1 {
+			sigs, exhausted = rec.EnumerateParallel(0, cfg.Parallel)
+		} else {
+			sigs, exhausted = rec.Enumerate(0)
+		}
 		if !exhausted {
 			return nil, 0, fmt.Errorf("experiments: CAN enumeration not exhausted")
 		}
@@ -274,7 +288,15 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.DeadlineStatus = rec.Check()
+	if cfg.Parallel > 1 {
+		_, st, err := rec.FirstParallel(cfg.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		res.DeadlineStatus = st
+	} else {
+		res.DeadlineStatus = rec.Check()
+	}
 	res.DeadlineDuration = time.Since(start)
 	return res, nil
 }

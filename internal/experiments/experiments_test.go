@@ -163,3 +163,47 @@ func TestCANExperiment(t *testing.T) {
 		t.Error("EngineData(125 bits) not in software log")
 	}
 }
+
+// TestRefreshParallelMatchesSerial runs the same refresh experiment
+// serially and through the concurrent pipeline and requires identical
+// results: the pool changes scheduling, never outcomes.
+func TestRefreshParallelMatchesSerial(t *testing.T) {
+	serialCfg := smallRefreshConfig(65)
+	parCfg := serialCfg
+	parCfg.Parallel = 4
+
+	serial, err := RunRefresh(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunRefresh(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.KMismatchesBuggy != par.KMismatchesBuggy ||
+		serial.KMismatchesFixed != par.KMismatchesFixed ||
+		serial.FirstMismatch != par.FirstMismatch ||
+		serial.FirstSteadyMismatch != par.FirstSteadyMismatch ||
+		serial.Collisions != par.Collisions {
+		t.Fatalf("parallel run diverged:\nserial %+v\nparallel %+v", serial, par)
+	}
+	if len(serial.TPMismatches) != len(par.TPMismatches) {
+		t.Fatalf("TP mismatches: serial %v, parallel %v", serial.TPMismatches, par.TPMismatches)
+	}
+	for i := range serial.TPMismatches {
+		if serial.TPMismatches[i] != par.TPMismatches[i] {
+			t.Fatalf("TP mismatch order differs at %d: %v vs %v", i, serial.TPMismatches, par.TPMismatches)
+		}
+	}
+	if len(serial.Localizations) != len(par.Localizations) {
+		t.Fatalf("localizations: serial %d, parallel %d", len(serial.Localizations), len(par.Localizations))
+	}
+	for i := range serial.Localizations {
+		s, p := serial.Localizations[i], par.Localizations[i]
+		if s.TraceCycle != p.TraceCycle || s.Candidates != p.Candidates || s.Verified != p.Verified ||
+			len(s.DelayedChangeCycles) != len(p.DelayedChangeCycles) {
+			t.Fatalf("localization %d differs: serial %+v, parallel %+v", i, s, p)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "sync"
+
+// runPool runs n independent jobs through a bounded pool of at most
+// workers goroutines. With workers <= 1 the jobs run serially on the
+// calling goroutine, so a serial configuration pays no synchronization
+// cost and behaves exactly as before. Jobs are identified by index;
+// callers write results into index-addressed slices so the outcome is
+// independent of scheduling.
+func runPool(n, workers int, job func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

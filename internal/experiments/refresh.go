@@ -36,6 +36,11 @@ type RefreshConfig struct {
 	// Period and BurstWords shape the software image.
 	Period     uint16
 	BurstWords int
+	// Parallel bounds the worker pool used to run the SoC simulations
+	// and to localize mismatching trace-cycles concurrently (each
+	// trace-cycle's diagnosis is an independent SAT query). <= 1 runs
+	// everything serially, exactly as the paper's single-threaded tool.
+	Parallel int
 }
 
 // DefaultRefreshConfig returns the configuration used throughout the
@@ -150,18 +155,24 @@ func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
 		return sys, st, nil
 	}
 
-	hwSys, hwSt, err := run(hardwareMem(cfg.AmbientC))
-	if err != nil {
-		return nil, err
+	// The three SoC runs (hardware, buggy sim, fixed sim) are
+	// independent simulations; with a parallel budget they execute
+	// concurrently.
+	mems := []sram.Config{hardwareMem(cfg.AmbientC), simulationMem(2), simulationMem(cfg.SimWaitStates)}
+	syss := make([]*soc.System, len(mems))
+	stores := make([]*trace.Store, len(mems))
+	errs := make([]error, len(mems))
+	runPool(len(mems), cfg.Parallel, func(i int) {
+		syss[i], stores[i], errs[i] = run(mems[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	_, buggySt, err := run(simulationMem(2))
-	if err != nil {
-		return nil, err
-	}
-	simSys, fixedSt, err := run(simulationMem(cfg.SimWaitStates))
-	if err != nil {
-		return nil, err
-	}
+	hwSys, hwSt := syss[0], stores[0]
+	buggySt := stores[1]
+	simSys, fixedSt := syss[2], stores[2]
 
 	res := &RefreshResult{Config: cfg, FirstMismatch: -1, FirstSteadyMismatch: -1}
 	// A burst word costs ~13-15 cycles; 20 is a safe upper bound.
@@ -197,11 +208,22 @@ func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
 			(res.FirstSteadyMismatch == -1 || m.TraceCycle < res.FirstSteadyMismatch) {
 			res.FirstSteadyMismatch = m.TraceCycle
 		}
-		loc, err := localizeDelay(enc, hwSt, refs, hwRefs, m.TraceCycle)
+	}
+	// Each TP mismatch is localized by an independent SAT query over
+	// its own trace-cycle; the pool fans them out and the results land
+	// in trace-cycle order regardless of scheduling.
+	locs := make([]Localization, len(res.TPMismatches))
+	locErrs := make([]error, len(res.TPMismatches))
+	runPool(len(res.TPMismatches), cfg.Parallel, func(i int) {
+		locs[i], locErrs[i] = localizeDelay(enc, hwSt, refs, hwRefs, res.TPMismatches[i])
+	})
+	for _, err := range locErrs {
 		if err != nil {
 			return nil, err
 		}
-		res.Localizations = append(res.Localizations, loc)
+	}
+	if len(locs) > 0 {
+		res.Localizations = locs
 	}
 	return res, nil
 }
@@ -300,15 +322,28 @@ func twoDelayVariants(ref core.Signal, delta int) properties.OneOfSignals {
 // "mismatch started from as early as the 3rd to as late as the 28th
 // trace-cycle" observation.
 func RefreshSweep(base RefreshConfig, ambients []float64) ([]*RefreshResult, error) {
-	var out []*RefreshResult
-	for _, a := range ambients {
+	out := make([]*RefreshResult, len(ambients))
+	errs := make([]error, len(ambients))
+	// Fan the ambients out across the pool; each inner run then stays
+	// serial (inner.Parallel = 1) so the total goroutine count is
+	// bounded by base.Parallel rather than its square.
+	runPool(len(ambients), base.Parallel, func(i int) {
 		cfg := base
-		cfg.AmbientC = a
+		cfg.AmbientC = ambients[i]
+		if base.Parallel > 1 {
+			cfg.Parallel = 1
+		}
 		r, err := RunRefresh(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ambient %.0f: %w", a, err)
+			errs[i] = fmt.Errorf("experiments: ambient %.0f: %w", ambients[i], err)
+			return
 		}
-		out = append(out, r)
+		out[i] = r
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -244,6 +244,49 @@ func (m *Matrix) Solve(y bitvec.Vector) (System, bool) {
 	return System{Particular: part, Nullspace: basis, Rank: rank}, true
 }
 
+// Echelon is the reduced row-echelon form of an augmented system
+// [A | y]: the nonzero rows after Gaussian elimination together with
+// their transformed right-hand sides and pivot columns. It is the
+// presolve view of a linear system — redundant rows are gone, unit
+// rows expose forced variables, and inconsistency is decided outright.
+type Echelon struct {
+	// Rows are the Rank nonzero reduced rows (width = Cols of A).
+	Rows []bitvec.Vector
+	// RHS[i] is the right-hand side of Rows[i].
+	RHS []bool
+	// Pivots[i] is the pivot column of Rows[i] (strictly increasing).
+	Pivots []int
+	// Rank is the rank of A.
+	Rank int
+	// Consistent is false when elimination produced a zero row with
+	// right-hand side 1 — the system has no solution.
+	Consistent bool
+}
+
+// Eliminate row-reduces the augmented system [A | y] on a copy of m
+// and returns its echelon form. y must have one bit per row of m.
+func (m *Matrix) Eliminate(y bitvec.Vector) Echelon {
+	if y.Width() != len(m.rows) {
+		panic(fmt.Sprintf("gf2: Eliminate rhs width %d, want %d", y.Width(), len(m.rows)))
+	}
+	cp := m.Clone()
+	rhs := y.Clone()
+	rank, pivots := cp.rowReduce(rhs)
+	e := Echelon{Rank: rank, Pivots: pivots, Consistent: true}
+	for i := rank; i < len(cp.rows); i++ {
+		if rhs.Get(i) {
+			e.Consistent = false
+			return e
+		}
+	}
+	e.Rows = cp.rows[:rank]
+	e.RHS = make([]bool, rank)
+	for i := 0; i < rank; i++ {
+		e.RHS[i] = rhs.Get(i)
+	}
+	return e
+}
+
 // Nullity returns the dimension of the solution space.
 func (s System) Nullity() int { return len(s.Nullspace) }
 

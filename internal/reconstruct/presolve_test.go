@@ -1,0 +1,237 @@
+package reconstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/sat"
+)
+
+// rankDeficientEnc builds an encoding whose matrix has deliberately
+// redundant rows: row b-1 duplicates row 0 (every timestamp carries
+// bit 0 and bit b-1 equal). Rank < b, so timeprints with those bits
+// unequal are outside the column space of A.
+func rankDeficientEnc(t *testing.T, m, b int) *encoding.Encoding {
+	t.Helper()
+	base := mustEnc(t, m, b-1, 4)
+	ts := make([]bitvec.Vector, m)
+	for i := 0; i < m; i++ {
+		v := bitvec.New(b)
+		src := base.Timestamp(i)
+		for j := 0; j < b-1; j++ {
+			v.Set(j, src.Get(j))
+		}
+		v.Set(b-1, src.Get(0)) // duplicate row 0 as row b-1
+		ts[i] = v
+	}
+	enc, err := encoding.FromTimestamps(ts, "test-rank-deficient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestPresolveInconsistentTP(t *testing.T) {
+	m, b := 16, 10
+	enc := rankDeficientEnc(t, m, b)
+
+	// A consistent timeprint, then break the duplicated bit so TP
+	// leaves the column space of A.
+	truth := core.SignalFromChanges(m, 2, 5, 11)
+	entry := core.Log(enc, truth)
+	entry.TP.Flip(b - 1)
+
+	rec, err := New(enc, entry, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := rec.Stats().Presolve
+	if !ps.Enabled || !ps.Inconsistent {
+		t.Fatalf("presolve stats %+v: want Enabled and Inconsistent", ps)
+	}
+	if st := rec.Check(); st != sat.Unsat {
+		t.Fatalf("status %v, want Unsat", st)
+	}
+	if dec := rec.Stats().Solver.Decisions; dec != 0 {
+		t.Errorf("presolve-refuted instance took %d decisions, want 0", dec)
+	}
+	if sigs, exhausted := rec.Enumerate(0); len(sigs) != 0 || !exhausted {
+		t.Errorf("Enumerate: %d signals, exhausted=%v", len(sigs), exhausted)
+	}
+
+	// Sanity: the unmodified entry is consistent and finds the truth.
+	rec2, err := New(enc, core.Log(enc, truth), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := rec2.Stats().Presolve; ps.Inconsistent || ps.Freed != b-ps.Rank {
+		t.Fatalf("consistent entry presolve stats %+v", ps)
+	}
+	sigs, exhausted := rec2.Enumerate(0)
+	if !exhausted || !sigKeySet(sigs)[truth.Vector().Key()] {
+		t.Fatalf("consistent entry lost the true signal (%d sigs, exhausted=%v)", len(sigs), exhausted)
+	}
+}
+
+func TestPresolveInfeasibleK(t *testing.T) {
+	// One-hot encoding: the system is full rank m, every position is a
+	// unit row, so forcedTrue = k exactly; any other k is refuted by
+	// the presolve feasibility window without SAT search.
+	m := 12
+	enc := encoding.OneHot(m)
+	truth := core.SignalFromChanges(m, 3, 7)
+	entry := core.Log(enc, truth)
+	entry.K = 3 // logged k contradicts the forced positions
+
+	rec, err := New(enc, entry, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := rec.Stats().Presolve
+	if !ps.Inconsistent {
+		t.Fatalf("presolve stats %+v: want Inconsistent (k window)", ps)
+	}
+	if st := rec.Check(); st != sat.Unsat {
+		t.Fatalf("status %v, want Unsat", st)
+	}
+	if dec := rec.Stats().Solver.Decisions; dec != 0 {
+		t.Errorf("refuted instance took %d decisions, want 0", dec)
+	}
+}
+
+func TestPresolveAllPositionsForced(t *testing.T) {
+	// One-hot with the correct k: rank == m, Fixed == m, and the unique
+	// solution falls out of the unit clauses alone.
+	m := 12
+	enc := encoding.OneHot(m)
+	truth := core.SignalFromChanges(m, 1, 4, 9)
+	entry := core.Log(enc, truth)
+
+	rec, err := New(enc, entry, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := rec.Stats().Presolve
+	if ps.Rank != m || ps.Fixed != m || ps.Freed != 0 || ps.Inconsistent {
+		t.Fatalf("presolve stats %+v: want rank=fixed=%d", ps, m)
+	}
+	sigs, exhausted := rec.Enumerate(0)
+	if !exhausted || len(sigs) != 1 || !sigs[0].Equal(truth) {
+		t.Fatalf("want unique solution %v, got %d signals (exhausted=%v)", truth, len(sigs), exhausted)
+	}
+}
+
+// TestPresolveEquivalence checks, on randomized small instances, that
+// the presolved SAT path, the raw (NoPresolve) SAT path and the
+// linear-algebra brute force all agree on the candidate set.
+func TestPresolveEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		m := 10 + r.Intn(7)
+		enc := mustEnc(t, m, 9+r.Intn(3), 4)
+		v := bitvec.New(m)
+		for i := 0; i < m; i++ {
+			if r.Intn(3) == 0 {
+				v.Set(i, true)
+			}
+		}
+		entry := core.Log(enc, core.SignalFromVector(v))
+
+		var got [2][]core.Signal
+		for i, opts := range []Options{{}, {NoPresolve: true}} {
+			rec, err := New(enc, entry, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs, exhausted := rec.Enumerate(0)
+			if !exhausted {
+				t.Fatalf("trial %d opts %d: not exhausted", trial, i)
+			}
+			got[i] = sigs
+			if ps := rec.Stats().Presolve; ps.Enabled == opts.NoPresolve {
+				t.Fatalf("trial %d: presolve Enabled=%v under NoPresolve=%v", trial, ps.Enabled, opts.NoPresolve)
+			}
+		}
+		bf, err := BruteForce(enc, entry, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, nk, bk := sigKeySet(got[0]), sigKeySet(got[1]), sigKeySet(bf)
+		if len(pk) != len(nk) || len(pk) != len(bk) {
+			t.Fatalf("trial %d: presolve %d, raw %d, brute force %d candidates",
+				trial, len(pk), len(nk), len(bk))
+		}
+		for k := range pk {
+			if !nk[k] || !bk[k] {
+				t.Fatalf("trial %d: candidate sets differ", trial)
+			}
+		}
+	}
+}
+
+// TestEnumerateParallelMatchesSerial checks the reconstruction-level
+// parallel driver against the serial path across worker counts.
+func TestEnumerateParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 8; trial++ {
+		m := 10 + r.Intn(7)
+		enc := mustEnc(t, m, 9+r.Intn(3), 4)
+		v := bitvec.New(m)
+		for i := 0; i < m; i++ {
+			if r.Intn(3) == 0 {
+				v.Set(i, true)
+			}
+		}
+		entry := core.Log(enc, core.SignalFromVector(v))
+
+		rec, err := New(enc, entry, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, exhausted := rec.Enumerate(0) // consumes rec
+		if !exhausted {
+			t.Fatal("serial enumeration not exhausted")
+		}
+		want := sigKeySet(serial)
+
+		for _, workers := range []int{2, 4} {
+			rec, err := New(enc, entry, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, exhausted := rec.EnumerateParallel(0, workers)
+			if !exhausted {
+				t.Fatalf("workers %d: parallel enumeration not exhausted", workers)
+			}
+			got := sigKeySet(par)
+			if len(got) != len(want) {
+				t.Fatalf("workers %d: %d signals, want %d", workers, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("workers %d: signal sets differ", workers)
+				}
+			}
+			// Non-consuming: a second call returns the same set.
+			again, _ := rec.EnumerateParallel(0, workers)
+			if len(again) != len(par) {
+				t.Fatalf("workers %d: EnumerateParallel consumed the instance", workers)
+			}
+
+			// FirstParallel agrees with Check on satisfiability.
+			sig, st, err := rec.FirstParallel(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (st == sat.Sat) != (len(serial) > 0) {
+				t.Fatalf("workers %d: FirstParallel status %v with %d candidates", workers, st, len(serial))
+			}
+			if st == sat.Sat && !sigKeySet(serial)[sig.Vector().Key()] {
+				t.Fatalf("workers %d: FirstParallel returned a non-candidate", workers)
+			}
+		}
+	}
+}

@@ -53,6 +53,12 @@ type Options struct {
 	// rows are chained through auxiliary variables (see cnf.AddXorCut).
 	// 0 means the default of 8; negative disables cutting (ablation).
 	XorCutLen int
+	// NoPresolve skips the GF(2) Gaussian presolve and feeds the raw
+	// parity rows of A·x = TP to the solver (ablation). By default the
+	// system is row-reduced first: inconsistency yields UNSAT without
+	// any SAT search, unit rows become fixed positions, and redundant
+	// rows are dropped before the CNF is built.
+	NoPresolve bool
 }
 
 func (o Options) cutLen() int {
@@ -66,13 +72,39 @@ func (o Options) cutLen() int {
 	}
 }
 
+// PresolveStats reports what the GF(2) Gaussian presolve decided
+// before the SAT solver was involved.
+type PresolveStats struct {
+	// Enabled is false when Options.NoPresolve skipped the presolve.
+	Enabled bool
+	// Rank is the rank of the parity system A.
+	Rank int
+	// Fixed counts signal positions whose value is forced by a unit
+	// row of the reduced system (every solution agrees on them).
+	Fixed int
+	// Freed counts redundant parity rows eliminated before encoding
+	// (b − rank): the solver never sees them.
+	Freed int
+	// Inconsistent is true when presolve refuted the instance outright
+	// — TP outside the column space of A, or the forced positions
+	// already incompatible with k — so UNSAT needed no SAT search.
+	Inconsistent bool
+}
+
+// Stats combines the presolve outcome with the solver counters.
+type Stats struct {
+	Solver   sat.Stats
+	Presolve PresolveStats
+}
+
 // Reconstructor is a live SR instance. Enumeration consumes it:
 // each found signal is blocked before the search continues.
 type Reconstructor struct {
-	enc     *encoding.Encoding
-	entry   core.LogEntry
-	builder *cnf.Builder
-	vars    []int
+	enc      *encoding.Encoding
+	entry    core.LogEntry
+	builder  *cnf.Builder
+	vars     []int
+	presolve PresolveStats
 }
 
 // New builds the SAT instance for entry under enc, with the given
@@ -91,28 +123,81 @@ func New(enc *encoding.Encoding, entry core.LogEntry, constraints []Constraint, 
 	for i := range vars {
 		vars[i] = i + 1
 	}
+	r := &Reconstructor{enc: enc, entry: entry, builder: bld, vars: vars}
 
-	// One parity row per timeprint bit j: XOR of {x_i : TS(i)_j = 1}
-	// equals TP_j.
-	ts := enc.Timestamps()
-	for j := 0; j < b; j++ {
-		var row []int
-		for i := 0; i < m; i++ {
-			if ts[i].Get(j) {
-				row = append(row, vars[i])
-			}
-		}
-		rhs := entry.TP.Get(j)
+	emitRow := func(row []int, rhs bool) {
 		if opts.XorAsCNF {
 			bld.AddXorCNF(row, rhs)
+			return
+		}
+		cut := opts.cutLen()
+		if cut >= len(row) {
+			bld.AddXor(row, rhs)
 		} else {
-			cut := opts.cutLen()
-			if cut >= len(row) {
-				bld.AddXor(row, rhs)
-			} else {
-				bld.AddXorCut(row, rhs, cut)
+			bld.AddXorCut(row, rhs, cut)
+		}
+	}
+
+	if opts.NoPresolve {
+		// One parity row per timeprint bit j: XOR of {x_i : TS(i)_j = 1}
+		// equals TP_j.
+		ts := enc.Timestamps()
+		for j := 0; j < b; j++ {
+			var row []int
+			for i := 0; i < m; i++ {
+				if ts[i].Get(j) {
+					row = append(row, vars[i])
+				}
+			}
+			emitRow(row, entry.TP.Get(j))
+		}
+	} else {
+		// GF(2) presolve: row-reduce [A | TP] first. The reduced system
+		// has the same solution set, but inconsistency is decided here
+		// (UNSAT with zero solver work), unit rows become level-0 unit
+		// clauses, and the b − rank redundant rows disappear.
+		ech := enc.Matrix().Eliminate(entry.TP)
+		r.presolve = PresolveStats{Enabled: true, Rank: ech.Rank, Freed: b - ech.Rank}
+		if !ech.Consistent {
+			r.presolve.Inconsistent = true
+			bld.AddClause() // empty clause: solver reports Unsat instantly
+		} else {
+			forcedTrue := 0
+			for i, rowVec := range ech.Rows {
+				ones := rowVec.Ones()
+				if len(ones) == 1 {
+					// Unit row: position is identical in every solution.
+					r.presolve.Fixed++
+					if ech.RHS[i] {
+						forcedTrue++
+						bld.AddClause(vars[ones[0]])
+					} else {
+						bld.AddClause(-vars[ones[0]])
+					}
+					continue
+				}
+				row := make([]int, len(ones))
+				for j, c := range ones {
+					row[j] = vars[c]
+				}
+				emitRow(row, ech.RHS[i])
+			}
+			// Cardinality feasibility against the fixed positions: every
+			// solution has at least forcedTrue ones and at most
+			// forcedTrue + (m − fixed) ones.
+			if entry.K < forcedTrue || entry.K > forcedTrue+(m-r.presolve.Fixed) {
+				r.presolve.Inconsistent = true
+				bld.AddClause()
 			}
 		}
+	}
+
+	// The instance is already refuted: skip the cardinality and
+	// property encodings — the solver answers Unsat from the empty
+	// clause with zero search.
+	if r.presolve.Inconsistent {
+		bld.S.MaxConflicts = opts.MaxConflicts
+		return r, nil
 	}
 
 	// Cardinality: exactly k changes.
@@ -131,7 +216,7 @@ func New(enc *encoding.Encoding, entry core.LogEntry, constraints []Constraint, 
 	}
 
 	bld.S.MaxConflicts = opts.MaxConflicts
-	return &Reconstructor{enc: enc, entry: entry, builder: bld, vars: vars}, nil
+	return r, nil
 }
 
 // First searches for one candidate signal. ok=false with status Unsat
@@ -188,8 +273,58 @@ func (r *Reconstructor) Check() sat.Status {
 	return r.builder.S.Solve()
 }
 
-// Stats exposes the underlying solver counters.
-func (r *Reconstructor) Stats() sat.Stats { return r.builder.S.Stats }
+// Stats exposes the presolve outcome and the underlying solver
+// counters.
+func (r *Reconstructor) Stats() Stats {
+	return Stats{Solver: r.builder.S.Stats, Presolve: r.presolve}
+}
+
+// signalFromModel converts a projected model (indexed like r.vars)
+// into a signal, verifying it against the log entry. A mismatch
+// indicates a solver bug and panics.
+func (r *Reconstructor) signalFromModel(model sat.Model) core.Signal {
+	v := bitvec.New(r.enc.M())
+	for i, set := range model {
+		if set {
+			v.Set(i, true)
+		}
+	}
+	s := core.SignalFromVector(v)
+	if got := core.Log(r.enc, s); !got.Equal(r.entry) {
+		panic(fmt.Sprintf("reconstruct: candidate %s logs to %v, want %v", s, got, r.entry))
+	}
+	return s
+}
+
+// EnumerateParallel finds up to limit candidate signals (limit <= 0:
+// all) with a cube-split portfolio of workers cloned solvers (workers
+// <= 0: GOMAXPROCS). Unlike Enumerate it does not consume the
+// instance. Results are canonically ordered: a full enumeration
+// returns the same signal set for every worker count, and matches
+// Enumerate up to ordering. With limit > 0 the result is a sorted
+// subset of the candidates, deterministic for a given worker count
+// but possibly a different subset than serial enumeration finds
+// first (each cube stops early at its own first limit models).
+func (r *Reconstructor) EnumerateParallel(limit, workers int) ([]core.Signal, bool) {
+	models, st := sat.ParallelEnumerate(r.builder.S, r.vars, limit, sat.ParallelOptions{Workers: workers})
+	out := make([]core.Signal, 0, len(models))
+	for _, m := range models {
+		out = append(out, r.signalFromModel(m))
+	}
+	return out, st == sat.Unsat
+}
+
+// FirstParallel races workers cube solvers for one candidate signal
+// (workers <= 0: GOMAXPROCS), cancelling the losers. It does not
+// consume the instance; the result is deterministic (the lowest
+// satisfiable cube wins regardless of scheduling).
+func (r *Reconstructor) FirstParallel(workers int) (core.Signal, sat.Status, error) {
+	model, st := sat.ParallelFirst(r.builder.S, r.vars, sat.ParallelOptions{Workers: workers})
+	if st != sat.Sat {
+		return core.Signal{}, st, nil
+	}
+	return r.signalFromModel(model), sat.Sat, nil
+}
 
 // BruteForce solves SR by linear algebra: Gaussian elimination yields
 // the solution coset (particular solution + nullspace span), which is

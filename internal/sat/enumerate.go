@@ -13,15 +13,21 @@ package sat
 //
 // The blocking clauses remain in the solver; enumeration is a
 // consuming operation.
+//
+// The model map passed to fn is REUSED across iterations to avoid
+// per-model allocation churn: fn must copy any values it wants to keep
+// and must not retain the map beyond the call.
 func (s *Solver) EnumerateModels(projection []int, limit int, fn func(model map[int]bool) bool) (int, Status) {
 	count := 0
+	model := make(map[int]bool, len(projection))
+	blocking := make([]int, 0, len(projection))
 	for {
 		st := s.Solve()
 		if st != Sat {
 			return count, st
 		}
-		model := make(map[int]bool, len(projection))
-		blocking := make([]int, 0, len(projection))
+		clear(model)
+		blocking = blocking[:0]
 		for _, v := range projection {
 			val := s.Value(v)
 			model[v] = val

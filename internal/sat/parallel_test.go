@@ -1,0 +1,323 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// randomMixedInstance builds a random instance with n variables,
+// 3-clauses and xor rows, the same shape as the reconstruction CNF
+// (parity rows + cardinality clauses).
+func randomMixedInstance(rng *rand.Rand, n, clauses, xors int) *Solver {
+	s := New(n)
+	for i := 0; i < clauses; i++ {
+		lits := make([]int, 3)
+		for j := range lits {
+			v := rng.Intn(n) + 1
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			lits[j] = v
+		}
+		if err := s.AddClause(lits...); err != nil {
+			return s // became unsat during construction; still usable
+		}
+	}
+	for i := 0; i < xors; i++ {
+		w := 2 + rng.Intn(3)
+		seen := map[int]bool{}
+		var vars []int
+		for len(vars) < w {
+			v := rng.Intn(n) + 1
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+		if err := s.AddXorClause(vars, rng.Intn(2) == 1); err != nil {
+			return s
+		}
+	}
+	return s
+}
+
+func allVars(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// php returns the pigeonhole principle PHP(holes+1, holes): hard
+// enough that a Solve call visits many conflicts before refuting it.
+func php(holes int) *Solver {
+	pigeons := holes + 1
+	v := func(p, h int) int { return p*holes + h + 1 }
+	s := New(pigeons * holes)
+	for p := 0; p < pigeons; p++ {
+		lits := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = v(p, h)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return s
+}
+
+func TestInterruptBeforeSolve(t *testing.T) {
+	s := php(7)
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted solve returned %v, want Unknown", st)
+	}
+	if !s.Interrupted() {
+		t.Error("Interrupted() false after Interrupt()")
+	}
+	s.ClearInterrupt()
+	if s.Interrupted() {
+		t.Error("Interrupted() true after ClearInterrupt()")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(8,7) after ClearInterrupt: %v, want Unsat", st)
+	}
+}
+
+func TestInterruptDuringSolve(t *testing.T) {
+	// A hard instance on one goroutine, interrupted from another. The
+	// solve must come back Unknown promptly instead of finishing the
+	// exponential refutation.
+	s := php(10)
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(10 * time.Millisecond)
+	s.Interrupt()
+	select {
+	case st := <-done:
+		// Unknown when the interrupt landed mid-search; Unsat only if
+		// the refutation finished before the flag was raised.
+		if st != Unknown && st != Unsat {
+			t.Fatalf("status %v", st)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solver ignored the interrupt")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := randomMixedInstance(rng, 30, 60, 10)
+	cl := src.Clone()
+
+	// Diverge: force opposite values of variable 1 on the two copies.
+	if err := src.AddClause(1); err != nil {
+		t.Fatalf("src unit: %v", err)
+	}
+	if err := cl.AddClause(-1); err != nil {
+		t.Fatalf("clone unit: %v", err)
+	}
+	stSrc, stCl := src.Solve(), cl.Solve()
+	if stSrc == Sat && !src.Value(1) {
+		t.Error("source lost its own unit clause")
+	}
+	if stCl == Sat && cl.Value(1) {
+		t.Error("clone lost its own unit clause")
+	}
+	if stSrc == Unknown || stCl == Unknown {
+		t.Errorf("statuses %v/%v", stSrc, stCl)
+	}
+}
+
+// TestCloneShareNothing hammers concurrent clones of one base solver
+// under the race detector: every worker clones, mutates and solves
+// privately. Any shared mutable state between clones is a race.
+func TestCloneShareNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randomMixedInstance(rng, 40, 90, 12)
+	src.Solve() // accumulate learnts and activity for Clone to copy
+	// Concurrent cloning is only safe from a level-0 snapshot (the
+	// contract the parallel drivers follow); take it serially first.
+	base := src.Clone()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cl := base.Clone()
+				v := (w*20+i)%base.NumVars() + 1
+				if i%2 == 0 {
+					cl.AddClause(v)
+				} else {
+					cl.AddClause(-v)
+				}
+				if st := cl.Solve(); st == Unknown {
+					t.Errorf("worker %d iter %d: Unknown", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func modelsEqual(a, b []Model) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestParallelEnumerateMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(6)
+		src := randomMixedInstance(rng, n, 2*n, n/2)
+		proj := allVars(n)
+
+		want, wantSt := serialEnumerate(src.Clone(), proj, 0)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, gotSt := ParallelEnumerate(src, proj, 0, ParallelOptions{Workers: workers})
+			if gotSt != wantSt {
+				t.Fatalf("trial %d workers %d: status %v, want %v", trial, workers, gotSt, wantSt)
+			}
+			if !modelsEqual(got, want) {
+				t.Fatalf("trial %d workers %d: %d models, want %d (or content differs)",
+					trial, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestParallelEnumerateDoesNotConsumeSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := randomMixedInstance(rng, 10, 20, 4)
+	proj := allVars(10)
+	first, _ := ParallelEnumerate(src, proj, 0, ParallelOptions{Workers: 4})
+	second, _ := ParallelEnumerate(src, proj, 0, ParallelOptions{Workers: 4})
+	if !modelsEqual(first, second) {
+		t.Fatalf("second enumeration differs: %d vs %d models", len(second), len(first))
+	}
+}
+
+func TestParallelEnumerateLimitDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	src := randomMixedInstance(rng, 12, 18, 3)
+	proj := allVars(12)
+	all, st := ParallelEnumerate(src, proj, 0, ParallelOptions{Workers: 4})
+	if st == Unknown || len(all) < 4 {
+		t.Skip("instance too constrained for a limit test")
+	}
+	limit := len(all) / 2
+	inFull := func(m Model) bool {
+		for _, f := range all {
+			if modelsEqual([]Model{m}, []Model{f}) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, gotSt := ParallelEnumerate(src, proj, limit, ParallelOptions{Workers: workers})
+		if gotSt != Sat {
+			t.Fatalf("workers %d: status %v, want Sat (truncated)", workers, gotSt)
+		}
+		if len(got) != limit {
+			t.Fatalf("workers %d: %d models, want %d", workers, len(got), limit)
+		}
+		for i, m := range got {
+			if !inFull(m) {
+				t.Fatalf("workers %d: model %d not in the full model set", workers, i)
+			}
+			if i > 0 && lessModel(m, got[i-1]) {
+				t.Fatalf("workers %d: result not canonically sorted", workers)
+			}
+		}
+		// Deterministic for a fixed worker count: a rerun is identical.
+		again, _ := ParallelEnumerate(src, proj, limit, ParallelOptions{Workers: workers})
+		if !modelsEqual(got, again) {
+			t.Fatalf("workers %d: limited enumeration not deterministic across runs", workers)
+		}
+	}
+}
+
+func TestParallelFirstSatAndUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	sats, unsats := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(6)
+		src := randomMixedInstance(rng, n, 3*n, n/2)
+		proj := allVars(n)
+		wantSt := src.Clone().Solve()
+		model, st := ParallelFirst(src, proj, ParallelOptions{Workers: 4})
+		if st != wantSt {
+			t.Fatalf("trial %d: status %v, want %v", trial, st, wantSt)
+		}
+		switch st {
+		case Sat:
+			sats++
+			// The model must actually satisfy the instance: pin every
+			// variable to the model on a fresh clone and re-solve.
+			chk := src.Clone()
+			for i, v := range proj {
+				l := v
+				if !model[i] {
+					l = -v
+				}
+				if err := chk.AddClause(l); err != nil {
+					t.Fatalf("trial %d: model violates instance at var %d", trial, v)
+				}
+			}
+			if chk.Solve() != Sat {
+				t.Fatalf("trial %d: ParallelFirst model does not satisfy the instance", trial)
+			}
+		case Unsat:
+			unsats++
+		}
+	}
+	if sats == 0 || unsats == 0 {
+		t.Logf("coverage: %d sat, %d unsat trials", sats, unsats)
+	}
+}
+
+// TestParallelEnumerateHammer runs several ParallelEnumerate calls
+// concurrently over one shared source solver. Under -race this proves
+// the drivers and the clones they spawn share nothing mutable.
+func TestParallelEnumerateHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	src := randomMixedInstance(rng, 12, 24, 4)
+	proj := allVars(12)
+	want, wantSt := ParallelEnumerate(src, proj, 0, ParallelOptions{Workers: 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, st := ParallelEnumerate(src, proj, 0, ParallelOptions{Workers: 4})
+			if st != wantSt || !modelsEqual(got, want) {
+				t.Errorf("concurrent enumeration diverged: %v/%d vs %v/%d",
+					st, len(got), wantSt, len(want))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -376,6 +376,9 @@ func (s *Solver) Solve() Status {
 	if !s.ok {
 		return Unsat
 	}
+	if s.stop.Load() {
+		return Unknown
+	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
@@ -410,6 +413,10 @@ func (s *Solver) search(conflictLimit int64, budget *int64, maxLearnts *int64) (
 		if confl != nil {
 			conflicts++
 			s.Stats.Conflicts++
+			if s.stop.Load() {
+				s.cancelUntil(0)
+				return Unknown, true
+			}
 			if *budget > 0 {
 				*budget--
 				if *budget == 0 {
@@ -444,7 +451,13 @@ func (s *Solver) search(conflictLimit int64, budget *int64, maxLearnts *int64) (
 			}
 			continue
 		}
-		// No conflict: decide.
+		// No conflict: decide. The stop flag is polled here too so a
+		// conflict-free dive through a large satisfiable space still
+		// honours Interrupt promptly.
+		if s.stop.Load() {
+			s.cancelUntil(0)
+			return Unknown, true
+		}
 		next, ok := s.pickBranchLit()
 		if !ok {
 			return Sat, true // all variables assigned

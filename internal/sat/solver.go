@@ -19,6 +19,7 @@ package sat
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Status is the outcome of a Solve call.
@@ -152,11 +153,32 @@ type Solver struct {
 
 	ok bool // false once a top-level conflict is found
 
+	// stop is the cooperative cancellation flag: set asynchronously by
+	// Interrupt, polled by the search loop at every conflict and
+	// decision. It is the only solver field another goroutine may
+	// touch while Solve runs.
+	stop atomic.Bool
+
 	// MaxConflicts bounds a single Solve call; <=0 means unlimited.
 	MaxConflicts int64
 
 	Stats Stats
 }
+
+// Interrupt asks a running Solve (or model enumeration) to stop at the
+// next conflict or decision, returning Unknown. It is safe to call
+// from another goroutine and is the cancellation hook of the parallel
+// cube-split drivers. The flag stays set — and makes subsequent Solve
+// calls return Unknown immediately — until ClearInterrupt.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// ClearInterrupt re-arms a solver whose Interrupt was triggered.
+func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
+
+// Interrupted reports whether an interrupt is pending, distinguishing
+// an Unknown caused by Interrupt from one caused by an exhausted
+// conflict budget.
+func (s *Solver) Interrupted() bool { return s.stop.Load() }
 
 // New returns a solver with n variables, numbered 1..n.
 func New(n int) *Solver {
@@ -397,4 +419,67 @@ func (s *Solver) Model() []bool {
 // Value reports the last model's value of variable v (1-based).
 func (s *Solver) Value(v int) bool {
 	return s.assigns[v-1] == valTrue
+}
+
+// Clone returns an independent deep copy of the solver that shares no
+// mutable state with the original — the foundation of cube-split
+// parallel solving, where each worker receives a clone and explores a
+// disjoint part of the search space. The clone carries the problem
+// clauses, the learned clauses, all level-0 assignments, and the
+// branching-heuristic state (activities, saved phases, activity
+// increments), so it resumes the search as informed as the original.
+// Search-transient state (trail above level 0, pending interrupt,
+// statistics) is reset. Clone backtracks the original to level 0.
+func (s *Solver) Clone() *Solver {
+	s.cancelUntil(0)
+	n := &Solver{
+		numVars:      s.numVars,
+		varInc:       s.varInc,
+		claInc:       s.claInc,
+		ok:           s.ok,
+		MaxConflicts: s.MaxConflicts,
+	}
+	n.assigns = append([]int8(nil), s.assigns...)
+	n.level = append([]int32(nil), s.level...)
+	n.activity = append([]float64(nil), s.activity...)
+	n.polarity = append([]bool(nil), s.polarity...)
+	n.seen = make([]bool, s.numVars)
+	// Level-0 assignments carry no useful reasons: conflict analysis
+	// skips level-0 literals, so the clone's reasons start empty.
+	n.reasons = make([]reason, s.numVars)
+	n.trail = append([]lit(nil), s.trail...)
+	n.qhead = len(n.trail)
+
+	n.watches = make([][]watcher, 2*s.numVars)
+	n.clauses = make([]*clause, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		nc := &clause{lits: append([]lit(nil), c.lits...)}
+		n.clauses = append(n.clauses, nc)
+		n.attachClause(nc)
+	}
+	n.learnts = make([]*clause, 0, len(s.learnts))
+	for _, c := range s.learnts {
+		nc := &clause{
+			lits:    append([]lit(nil), c.lits...),
+			act:     c.act,
+			lbd:     c.lbd,
+			learned: true,
+		}
+		n.learnts = append(n.learnts, nc)
+		n.attachClause(nc)
+	}
+	n.xorWatches = make([][]*xorClause, s.numVars)
+	n.xors = make([]*xorClause, 0, len(s.xors))
+	for _, x := range s.xors {
+		nx := &xorClause{vars: append([]int32(nil), x.vars...), rhs: x.rhs, w: x.w}
+		n.xors = append(n.xors, nx)
+		n.xorWatches[nx.vars[nx.w[0]]] = append(n.xorWatches[nx.vars[nx.w[0]]], nx)
+		n.xorWatches[nx.vars[nx.w[1]]] = append(n.xorWatches[nx.vars[nx.w[1]]], nx)
+	}
+
+	n.order = newVarHeap(&n.activity)
+	for v := 0; v < s.numVars; v++ {
+		n.order.insert(int32(v))
+	}
+	return n
 }
