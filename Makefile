@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke
+.PHONY: check fmt vet build test race bench-smoke diffcheck
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -27,3 +27,9 @@ race:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkFigure4 -benchtime=1x .
+
+# diffcheck runs the differential-oracle and fault-injection trust
+# harness: a seeded 200-case corpus through every reconstruction
+# oracle pair plus fault injection, under the race detector.
+diffcheck:
+	$(GO) run -race ./cmd/timeprint selfcheck -cases 200 -seed 1 -workers 2,4

@@ -10,10 +10,20 @@
 //	              [-window lo:hi] [-deadline D] [-paired]
 //	              [-prop "mingap(3); dk(32,3)"] [-parallel N]
 //	timeprint rate -m 1024 -b 24 -clock 100e6    logging bit-rate
+//	timeprint selfcheck -seed 1 -cases 200       differential oracle check
 //
 // The wire dump format is one '0' or '1' per clock-cycle (whitespace
 // ignored). Reconstruction prints one candidate change-map per line,
 // clock-cycle 0 leftmost.
+//
+// selfcheck runs the internal/diffcheck trust harness: a seeded corpus
+// of randomized (encoding, entry) cases pushed through every
+// reconstruction oracle (algebraic decode, serial SAT, parallel SAT
+// portfolio, GF(2) brute force, exhaustive concretization) with all
+// pairs of solution sets compared, followed by fault injection into
+// timeprint logs asserting every corruption fails closed. It exits
+// nonzero on any divergence; the printed CaseSpec reproduces a
+// divergence independently of the corpus.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 
 	timeprints "repro"
 	"repro/internal/core"
+	"repro/internal/diffcheck"
 	"repro/internal/vcd"
 )
 
@@ -47,13 +58,15 @@ func main() {
 		cmdDecode(args)
 	case "rate":
 		cmdRate(args)
+	case "selfcheck":
+		cmdSelfcheck(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: timeprint encode|minb|log|reconstruct|decode|rate [flags]")
+	fmt.Fprintln(os.Stderr, "usage: timeprint encode|minb|log|reconstruct|decode|rate|selfcheck [flags]")
 	os.Exit(2)
 }
 
@@ -281,6 +294,50 @@ func cmdDecode(args []string) {
 	for i, e := range entries {
 		fmt.Printf("trace-cycle %d: TP=%s k=%d\n", i, e.TP, e.K)
 	}
+}
+
+func cmdSelfcheck(args []string) {
+	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "corpus seed")
+	cases := fs.Int("cases", 200, "number of (encoding, entry) cases")
+	workers := fs.String("workers", "2,4", "comma-separated worker counts for the parallel oracle")
+	_ = fs.Parse(args)
+
+	var ws []int
+	for _, f := range strings.Split(*workers, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		w, err := strconv.Atoi(f)
+		if err != nil || w < 1 {
+			fail(fmt.Errorf("bad -workers value %q", f))
+		}
+		ws = append(ws, w)
+	}
+
+	rep, err := diffcheck.Run(diffcheck.Config{Seed: *seed, Cases: *cases, Workers: ws})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("differential corpus:", rep.Summary())
+	ok := rep.Ok()
+	for _, d := range rep.Divergences {
+		fmt.Fprintln(os.Stderr, "DIVERGENCE:", d.Error())
+	}
+
+	frep, err := diffcheck.InjectFaults(*seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("fault injection:   ", frep.Summary())
+	for _, f := range frep.Failures {
+		fmt.Fprintln(os.Stderr, "FAULT NOT CONTAINED:", f)
+	}
+	if !ok || !frep.Ok() {
+		os.Exit(1)
+	}
+	fmt.Println("selfcheck: all oracles agree, all faults fail closed")
 }
 
 func cmdRate(args []string) {

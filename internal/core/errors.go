@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors for log-entry validation, shared by every layer
+// that checks entries on the way in or out: the wire codec here, the
+// trace store, and both reconstruction oracles (decode and
+// reconstruct). Layers wrap these with %w plus their own context, so a
+// caller can classify a rejection with errors.Is regardless of which
+// layer refused the entry — the contract the fault-injection harness
+// (internal/diffcheck) asserts: corrupted input is rejected with a
+// typed error, never a panic, never a silently wrong signal.
+var (
+	// ErrWidth reports a timeprint whose bit width does not match the
+	// encoding or store geometry it is used with.
+	ErrWidth = errors.New("timeprint width mismatch")
+	// ErrKRange reports a change count outside its valid range.
+	ErrKRange = errors.New("change count out of range")
+	// ErrCorrupt reports a structurally invalid serialized log
+	// (bad magic, implausible header, truncation, undecodable entry).
+	ErrCorrupt = errors.New("corrupt timeprint log")
+)

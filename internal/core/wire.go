@@ -32,10 +32,10 @@ func WriteLog(w io.Writer, m, b int, entries []LogEntry) error {
 	kb := KBits(m)
 	for i, e := range entries {
 		if e.TP.Width() != b {
-			return fmt.Errorf("core: entry %d timeprint width %d, want %d", i, e.TP.Width(), b)
+			return fmt.Errorf("core: entry %d timeprint width %d, want %d: %w", i, e.TP.Width(), b, ErrWidth)
 		}
 		if e.K < 0 || e.K > m {
-			return fmt.Errorf("core: entry %d change count %d outside [0,%d]", i, e.K, m)
+			return fmt.Errorf("core: entry %d change count %d outside [0,%d]: %w", i, e.K, m, ErrKRange)
 		}
 		for j := 0; j < b; j++ {
 			bs.writeBit(e.TP.Get(j))
@@ -56,18 +56,18 @@ func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
 	var magic, um, ub, n uint32
 	for _, p := range []*uint32{&magic, &um, &ub, &n} {
 		if err = binary.Read(br, binary.LittleEndian, p); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, fmt.Errorf("core: truncated log header: %w (%w)", err, ErrCorrupt)
 		}
 	}
 	if magic != wireMagic {
-		return 0, 0, nil, fmt.Errorf("core: bad log magic %#x", magic)
+		return 0, 0, nil, fmt.Errorf("core: bad log magic %#x: %w", magic, ErrCorrupt)
 	}
 	m, b = int(um), int(ub)
 	if m <= 0 || b <= 0 || m > 1<<24 || b > 1<<20 {
-		return 0, 0, nil, fmt.Errorf("core: implausible log header m=%d b=%d", m, b)
+		return 0, 0, nil, fmt.Errorf("core: implausible log header m=%d b=%d: %w", m, b, ErrCorrupt)
 	}
 	if n > 1<<28 {
-		return 0, 0, nil, fmt.Errorf("core: implausible entry count %d", n)
+		return 0, 0, nil, fmt.Errorf("core: implausible entry count %d: %w", n, ErrCorrupt)
 	}
 	bs := newBitReader(br)
 	kb := KBits(m)
@@ -80,7 +80,7 @@ func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
 		for j := 0; j < b; j++ {
 			bit, err := bs.readBit()
 			if err != nil {
-				return 0, 0, nil, fmt.Errorf("core: truncated log at entry %d: %w", i, err)
+				return 0, 0, nil, fmt.Errorf("core: truncated log at entry %d: %w (%w)", i, err, ErrCorrupt)
 			}
 			if bit {
 				tp.Set(j, true)
@@ -90,14 +90,14 @@ func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
 		for j := 0; j < kb; j++ {
 			bit, err := bs.readBit()
 			if err != nil {
-				return 0, 0, nil, fmt.Errorf("core: truncated log at entry %d: %w", i, err)
+				return 0, 0, nil, fmt.Errorf("core: truncated log at entry %d: %w (%w)", i, err, ErrCorrupt)
 			}
 			if bit {
 				k |= 1 << uint(j)
 			}
 		}
 		if k > m {
-			return 0, 0, nil, fmt.Errorf("core: entry %d decodes k=%d > m=%d", i, k, m)
+			return 0, 0, nil, fmt.Errorf("core: entry %d decodes k=%d > m=%d: %w (%w)", i, k, m, ErrKRange, ErrCorrupt)
 		}
 		entries = append(entries, LogEntry{TP: tp, K: k})
 	}

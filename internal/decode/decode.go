@@ -47,6 +47,18 @@ type Decoder struct {
 	pairsBuilt bool
 }
 
+// check validates an entry's shape against the decoder's encoding,
+// wrapping the shared core sentinels for typed classification.
+func (d *Decoder) check(entry core.LogEntry) error {
+	if entry.TP.Width() != d.enc.B() {
+		return fmt.Errorf("decode: timeprint width %d, want %d: %w", entry.TP.Width(), d.enc.B(), core.ErrWidth)
+	}
+	if entry.K < 0 || entry.K > MaxK {
+		return fmt.Errorf("decode: k=%d outside [0,%d] (use the SAT reconstructor): %w", entry.K, MaxK, core.ErrKRange)
+	}
+	return nil
+}
+
 // New builds a decoder for the encoding. The single-timestamp index is
 // built eagerly (O(m)); the pairwise index lazily on the first k >= 3
 // query (O(m²) time and space).
@@ -80,97 +92,109 @@ func (d *Decoder) buildPairs() {
 // timestamps XOR to entry.TP, in deterministic order. It returns an
 // error for k > MaxK.
 func (d *Decoder) Decode(entry core.LogEntry) ([]core.Signal, error) {
-	if entry.TP.Width() != d.enc.B() {
-		return nil, fmt.Errorf("decode: timeprint width %d, want %d", entry.TP.Width(), d.enc.B())
-	}
-	if entry.K < 0 || entry.K > MaxK {
-		return nil, fmt.Errorf("decode: k=%d outside [0,%d]; use the SAT reconstructor", entry.K, MaxK)
+	if err := d.check(entry); err != nil {
+		return nil, err
 	}
 	m := d.enc.M()
-	sets := d.changeSets(entry)
-	// Deduplicate and normalize.
+	// Deduplicate (weak encodings only; canonical enumeration order
+	// makes duplicates impossible in theory, kept as a safety net) and
+	// materialize the signals.
 	seen := map[string]bool{}
 	var out []core.Signal
-	for _, cs := range sets {
+	d.forEachSet(entry, func(cs []int) {
 		s := core.SignalFromChanges(m, cs...)
 		if k := s.K(); k != entry.K {
-			continue // repeated indices collapsed: not a valid k-set
+			return // repeated indices collapsed: not a valid k-set
 		}
 		key := s.Vector().Key()
 		if !seen[key] {
 			seen[key] = true
 			out = append(out, s)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].Vector().Key() < out[j].Vector().Key()
 	})
 	return out, nil
 }
 
-// changeSets enumerates candidate index sets (possibly with duplicates
-// or unsorted entries; Decode normalizes).
-func (d *Decoder) changeSets(entry core.LogEntry) [][]int {
+// forEachSet enumerates candidate change sets for the entry, invoking
+// fn with each set in canonical increasing index order. The slice is
+// reused across calls; fn must not retain it. Every emitted set has
+// exactly entry.K strictly increasing indices, so each candidate signal
+// appears exactly once (the canonical-order guards make decompositions
+// unique even under weak encodings where pairs has multi-pair
+// collisions).
+func (d *Decoder) forEachSet(entry core.LogEntry, fn func(cs []int)) {
 	tp := entry.TP
+	var buf [MaxK]int
 	switch entry.K {
 	case 0:
 		if tp.IsZero() {
-			return [][]int{{}}
+			fn(buf[:0])
 		}
-		return nil
 	case 1:
 		if i, ok := d.single[tp.Key()]; ok {
-			return [][]int{{i}}
+			buf[0] = i
+			fn(buf[:1])
 		}
-		return nil
 	case 2:
-		var out [][]int
 		for i, t := range d.ts {
 			rest := tp.Xor(t)
 			if j, ok := d.single[rest.Key()]; ok && j > i {
-				out = append(out, []int{i, j})
+				buf[0], buf[1] = i, j
+				fn(buf[:2])
 			}
 		}
-		return out
 	case 3:
 		d.buildPairs()
-		var out [][]int
 		for i, t := range d.ts {
 			rest := tp.Xor(t)
 			for _, p := range d.pairs[rest.Key()] {
 				if p[0] > i { // canonical order i < p0 < p1
-					out = append(out, []int{i, p[0], p[1]})
+					buf[0], buf[1], buf[2] = i, p[0], p[1]
+					fn(buf[:3])
 				}
 			}
 		}
-		return out
 	case 4:
 		d.buildPairs()
-		var out [][]int
 		for i := 0; i < len(d.ts); i++ {
 			for j := i + 1; j < len(d.ts); j++ {
 				rest := tp.Xor(d.ts[i]).Xor(d.ts[j])
 				for _, p := range d.pairs[rest.Key()] {
 					// Canonical: i < j < p0 < p1 avoids duplicates.
 					if p[0] > j {
-						out = append(out, []int{i, j, p[0], p[1]})
+						buf[0], buf[1], buf[2], buf[3] = i, j, p[0], p[1]
+						fn(buf[:4])
 					}
 				}
 			}
 		}
-		return out
 	}
-	return nil
 }
 
 // Count returns the number of weight-k solutions without materializing
-// the signals.
+// the signals: candidate sets are counted as they are enumerated,
+// deduplicated by their index-set key alone — no per-candidate bit
+// vector, string key, or final sort as in Decode. The canonical
+// enumeration order makes duplicates impossible, so the dedup set only
+// guards against regressions; it stays cheap ([MaxK]int keys).
 func (d *Decoder) Count(entry core.LogEntry) (int, error) {
-	sigs, err := d.Decode(entry)
-	if err != nil {
+	if err := d.check(entry); err != nil {
 		return 0, err
 	}
-	return len(sigs), nil
+	seen := map[[MaxK]int]struct{}{}
+	n := 0
+	d.forEachSet(entry, func(cs []int) {
+		key := [MaxK]int{-1, -1, -1, -1}
+		copy(key[:], cs)
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			n++
+		}
+	})
+	return n, nil
 }
 
 // Unique reports whether the entry has exactly one reconstruction and

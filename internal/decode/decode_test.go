@@ -1,6 +1,7 @@
 package decode
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -157,6 +158,176 @@ func TestProfile(t *testing.T) {
 	}
 	if pOH.Unique != pOH.Total || pOH.MaxCands != 1 {
 		t.Fatalf("one-hot profile %+v", pOH)
+	}
+}
+
+// TestWeakEncodingsHighKMatchBruteForce pits the k=3 and k=4 canonical
+// enumeration against exhaustive oracles on encodings that are NOT
+// LI-4, where the pairwise-XOR index has multi-pair collisions (many
+// (i,j) with equal TS(i)^TS(j)) — exactly the regime where a
+// double-counting or missed-decomposition bug in the meet-in-the-middle
+// would surface. Every decoded set must match GF(2) brute force and
+// full 2^m concretization, and Count must agree with len(Decode).
+func TestWeakEncodingsHighKMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	encs := []struct {
+		name string
+		enc  *encoding.Encoding
+	}{
+		{"binary-12", encoding.Binary(12)}, // LI-2 only: maximal pair collisions
+		{"binary-16", encoding.Binary(16)},
+		{"inc-16-9-2", mustEnc(t, 16, 9, 2)}, // depth-2 incremental: not LI-4
+	}
+	for _, tc := range encs {
+		enc := tc.enc
+		m := enc.M()
+		dec := New(enc)
+		// Confirm the encoding is genuinely weak: some pairwise XOR must
+		// collide, otherwise this test is not exercising the multi-pair
+		// paths.
+		dec.buildPairs()
+		collides := false
+		for _, ps := range dec.pairs {
+			if len(ps) > 1 {
+				collides = true
+				break
+			}
+		}
+		if !collides {
+			t.Fatalf("%s: no pairwise collisions — test encoding too strong", tc.name)
+		}
+		for k := 3; k <= 4; k++ {
+			for trial := 0; trial < 6; trial++ {
+				truth := core.SignalFromChanges(m, r.Perm(m)[:k]...)
+				entry := core.Log(enc, truth)
+				alg, err := dec.Decode(entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := dec.Count(entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(alg) {
+					t.Fatalf("%s k=%d: Count %d != len(Decode) %d", tc.name, k, n, len(alg))
+				}
+				want := map[string]bool{}
+				bf, err := reconstruct.BruteForce(enc, entry, 0, 24)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range bf {
+					want[s.Vector().Key()] = true
+				}
+				exSet := map[string]bool{}
+				for _, s := range core.Concretize(enc, entry) {
+					exSet[s.Vector().Key()] = true
+				}
+				if len(exSet) != len(want) {
+					t.Fatalf("%s k=%d: brute force %d vs exhaustive %d", tc.name, k, len(want), len(exSet))
+				}
+				got := map[string]bool{}
+				for _, s := range alg {
+					if got[s.Vector().Key()] {
+						t.Fatalf("%s k=%d: duplicate in Decode output", tc.name, k)
+					}
+					got[s.Vector().Key()] = true
+					if !want[s.Vector().Key()] {
+						t.Fatalf("%s k=%d: decoded set not in brute force", tc.name, k)
+					}
+				}
+				for key := range want {
+					if !got[key] {
+						t.Fatalf("%s k=%d: brute-force solution missed by decode (%d vs %d)",
+							tc.name, k, len(got), len(want))
+					}
+				}
+				if !got[truth.Vector().Key()] {
+					t.Fatalf("%s k=%d: truth not decoded", tc.name, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCountMatchesDecodeLen(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, enc := range []*encoding.Encoding{
+		encoding.Binary(14),
+		mustEnc(t, 32, 11, 4),
+		mustEnc(t, 48, 12, 4),
+	} {
+		dec := New(enc)
+		for k := 0; k <= MaxK; k++ {
+			for trial := 0; trial < 8; trial++ {
+				entry := core.Log(enc, core.SignalFromChanges(enc.M(), r.Perm(enc.M())[:k]...))
+				sigs, err := dec.Decode(entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := dec.Count(entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(sigs) {
+					t.Fatalf("m=%d k=%d: Count %d != len(Decode) %d", enc.M(), k, n, len(sigs))
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	dec := New(mustEnc(t, 16, 8, 4))
+	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(9), K: 1}); !errors.Is(err, core.ErrWidth) {
+		t.Errorf("decode width: %v", err)
+	}
+	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(8), K: MaxK + 1}); !errors.Is(err, core.ErrKRange) {
+		t.Errorf("decode k: %v", err)
+	}
+	if _, err := dec.Count(core.LogEntry{TP: bitvec.New(9), K: 1}); !errors.Is(err, core.ErrWidth) {
+		t.Errorf("count width: %v", err)
+	}
+	if _, err := dec.Count(core.LogEntry{TP: bitvec.New(8), K: -1}); !errors.Is(err, core.ErrKRange) {
+		t.Errorf("count negative k: %v", err)
+	}
+}
+
+// BenchmarkCount vs BenchmarkDecodeForCount: the satellite fix makes
+// Count enumerate index sets without materializing signals, string keys
+// or sorting. Run with -bench 'Count|DecodeForCount' to compare.
+func benchEntry(b *testing.B) (*Decoder, core.LogEntry) {
+	b.Helper()
+	enc := encoding.Binary(24) // weak: thousands of k=4 candidates
+	r := rand.New(rand.NewSource(17))
+	return New(enc), core.Log(enc, core.SignalFromChanges(24, r.Perm(24)[:4]...))
+}
+
+func BenchmarkCount(b *testing.B) {
+	dec, entry := benchEntry(b)
+	if _, err := dec.Count(entry); err != nil { // warm the pair index
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Count(entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeForCount(b *testing.B) {
+	dec, entry := benchEntry(b)
+	if _, err := dec.Decode(entry); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigs, err := dec.Decode(entry)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = len(sigs)
 	}
 }
 

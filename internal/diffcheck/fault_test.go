@@ -1,0 +1,25 @@
+package diffcheck
+
+import "testing"
+
+func TestInjectFaultsAllFailClosed(t *testing.T) {
+	for _, seed := range []int64{1, 2, 99} {
+		rep, err := InjectFaults(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("seed %d:\n%s", seed, rep.Summary())
+		}
+		if rep.Injected < 30 {
+			t.Errorf("seed %d: only %d faults injected", seed, rep.Injected)
+		}
+		if rep.RejectedTyped == 0 || rep.Localized == 0 {
+			t.Errorf("seed %d: degenerate report %+v", seed, rep)
+		}
+		if rep.Injected != rep.RejectedTyped+rep.Localized {
+			t.Errorf("seed %d: %d injected but %d rejected + %d localized",
+				seed, rep.Injected, rep.RejectedTyped, rep.Localized)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decode"
+	"repro/internal/encoding"
+	"repro/internal/reconstruct"
+	"repro/internal/sat"
+)
+
+// exhaustiveMaxM bounds the 2^m exhaustive concretization oracle.
+const exhaustiveMaxM = 16
+
+// bruteMaxNullity bounds the 2^(m-rank) GF(2) coset enumeration.
+const bruteMaxNullity = 22
+
+// oracle is one independent Signal Reconstruction implementation. run
+// must return the complete candidate set for the entry (no limit); the
+// harness canonicalizes and compares the sets.
+type oracle struct {
+	name    string
+	applies func(cs CaseSpec) bool
+	run     func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error)
+}
+
+// buildOracles assembles every oracle available in the repository:
+//
+//   - decode:     algebraic syndrome decoding (internal/decode), k <= 4
+//   - sat:        serial CDCL enumeration (internal/reconstruct)
+//   - sat-par-N:  cube-split parallel portfolio with N workers
+//   - brute:      GF(2) coset enumeration, nullity-bounded
+//   - exhaustive: 2^m concretization (internal/core), m <= 16
+//
+// sat-first-par additionally races the parallel first-solution driver
+// and checks membership of its answer in the serial set (it cannot be
+// compared as a set, so it is folded into the sat oracle's runner).
+func buildOracles(workers []int) []oracle {
+	oracles := []oracle{
+		{
+			name:    "decode",
+			applies: func(cs CaseSpec) bool { return cs.K <= decode.MaxK },
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				dec := decode.New(enc)
+				sigs, err := dec.Decode(entry)
+				if err != nil {
+					return nil, err
+				}
+				// Count must agree with the materialized set — the
+				// fast-path counting satellite rides the same oracle.
+				n, err := dec.Count(entry)
+				if err != nil {
+					return nil, err
+				}
+				if n != len(sigs) {
+					return nil, fmt.Errorf("decode.Count=%d but Decode returned %d signals", n, len(sigs))
+				}
+				return sigs, nil
+			},
+		},
+		{
+			name:    "sat",
+			applies: func(CaseSpec) bool { return true },
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				r, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+				if err != nil {
+					return nil, err
+				}
+				sigs, exhausted := r.Enumerate(0)
+				if !exhausted {
+					return nil, fmt.Errorf("serial enumeration not exhausted")
+				}
+				return sigs, nil
+			},
+		},
+		{
+			name: "brute",
+			applies: func(cs CaseSpec) bool {
+				// Nullity is at most m - 1 and at least m - b; refuse
+				// only what BruteForce itself would refuse.
+				return cs.M-min(cs.B, cs.M) <= bruteMaxNullity && cs.M <= bruteMaxNullity+6
+			},
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				return reconstruct.BruteForce(enc, entry, 0, bruteMaxNullity)
+			},
+		},
+		{
+			name:    "exhaustive",
+			applies: func(cs CaseSpec) bool { return cs.M <= exhaustiveMaxM },
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				return core.Concretize(enc, entry), nil
+			},
+		},
+	}
+	for _, w := range workers {
+		w := w
+		oracles = append(oracles, oracle{
+			name:    fmt.Sprintf("sat-par-%d", w),
+			applies: func(CaseSpec) bool { return true },
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				r, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+				if err != nil {
+					return nil, err
+				}
+				sigs, exhausted := r.EnumerateParallel(0, w)
+				if !exhausted {
+					return nil, fmt.Errorf("parallel enumeration (workers=%d) not exhausted", w)
+				}
+				// The racing first-solution driver must produce a member
+				// of the full set (or agree the set is empty).
+				first, st, err := r.FirstParallel(w)
+				if err != nil {
+					return nil, err
+				}
+				if (st == sat.Sat) != (len(sigs) > 0) {
+					return nil, fmt.Errorf("FirstParallel status %v but %d candidates", st, len(sigs))
+				}
+				if len(sigs) > 0 {
+					found := false
+					for _, s := range sigs {
+						if s.Equal(first) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, fmt.Errorf("FirstParallel returned a non-member candidate %s", first)
+					}
+				}
+				return sigs, nil
+			},
+		})
+	}
+	return oracles
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// runPool edge cases: n=0 must not deadlock or run any job, workers > n
+// must clamp (no goroutine ever blocks on an empty job channel), and
+// workers <= 1 must run serially on the calling goroutine.
+func TestRunPoolEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+	}{
+		{"zero jobs serial", 0, 1},
+		{"zero jobs parallel", 0, 8},
+		{"workers exceed jobs", 3, 16},
+		{"serial", 5, 1},
+		{"zero workers", 5, 0},
+		{"negative workers", 5, -3},
+		{"parallel", 20, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var ran int64
+			seen := make([]int32, c.n)
+			runPool(c.n, c.workers, func(i int) {
+				atomic.AddInt64(&ran, 1)
+				atomic.AddInt32(&seen[i], 1)
+			})
+			if ran != int64(c.n) {
+				t.Fatalf("%d jobs ran, want %d", ran, c.n)
+			}
+			for i, v := range seen {
+				if v != 1 {
+					t.Fatalf("job %d ran %d times", i, v)
+				}
+			}
+		})
+	}
+}
+
+// With workers <= 1 the jobs must run on the calling goroutine in
+// index order — the documented no-synchronization serial path.
+func TestRunPoolSerialOrder(t *testing.T) {
+	var order []int
+	runPool(6, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}

@@ -112,10 +112,10 @@ type Reconstructor struct {
 func New(enc *encoding.Encoding, entry core.LogEntry, constraints []Constraint, opts Options) (*Reconstructor, error) {
 	m, b := enc.M(), enc.B()
 	if entry.TP.Width() != b {
-		return nil, fmt.Errorf("reconstruct: timeprint width %d, want %d", entry.TP.Width(), b)
+		return nil, fmt.Errorf("reconstruct: timeprint width %d, want %d: %w", entry.TP.Width(), b, core.ErrWidth)
 	}
 	if entry.K < 0 || entry.K > m {
-		return nil, fmt.Errorf("reconstruct: k=%d outside [0,%d]", entry.K, m)
+		return nil, fmt.Errorf("reconstruct: k=%d outside [0,%d]: %w", entry.K, m, core.ErrKRange)
 	}
 
 	bld := cnf.NewBuilder(m)
@@ -332,6 +332,12 @@ func (r *Reconstructor) FirstParallel(workers int) (core.Signal, sat.Status, err
 // so it refuses instances whose nullity exceeds maxNullity (default 28
 // when <= 0). It is the validation baseline for the SAT path.
 func BruteForce(enc *encoding.Encoding, entry core.LogEntry, limit, maxNullity int) ([]core.Signal, error) {
+	if entry.TP.Width() != enc.B() {
+		return nil, fmt.Errorf("reconstruct: timeprint width %d, want %d: %w", entry.TP.Width(), enc.B(), core.ErrWidth)
+	}
+	if entry.K < 0 || entry.K > enc.M() {
+		return nil, fmt.Errorf("reconstruct: k=%d outside [0,%d]: %w", entry.K, enc.M(), core.ErrKRange)
+	}
 	if maxNullity <= 0 {
 		maxNullity = 28
 	}

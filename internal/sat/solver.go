@@ -416,8 +416,15 @@ func (s *Solver) Model() []bool {
 	return m
 }
 
-// Value reports the last model's value of variable v (1-based).
+// Value reports the last model's value of variable v (1-based). A
+// variable outside [1, NumVars] reads false rather than panicking:
+// projection lists reach this accessor from the enumeration and
+// cube-split drivers, and a stale or foreign variable id must fail
+// closed, not crash the postmortem pipeline.
 func (s *Solver) Value(v int) bool {
+	if v < 1 || v > s.numVars {
+		return false
+	}
 	return s.assigns[v-1] == valTrue
 }
 

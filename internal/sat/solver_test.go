@@ -20,6 +20,26 @@ func TestTrivialSat(t *testing.T) {
 	}
 }
 
+// Value on an out-of-range variable id must answer false, never panic:
+// stale projection lists from the enumeration and cube-split drivers
+// can carry ids the solver never allocated.
+func TestValueOutOfRange(t *testing.T) {
+	s := New(2)
+	mustAdd(t, s, 1)
+	mustAdd(t, s, 2)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	for _, v := range []int{0, -1, 3, 1 << 20} {
+		if s.Value(v) {
+			t.Errorf("Value(%d) true for unallocated variable", v)
+		}
+	}
+	if !s.Value(1) || !s.Value(2) {
+		t.Error("in-range values wrong")
+	}
+}
+
 func TestTrivialUnsat(t *testing.T) {
 	s := New(1)
 	mustAdd(t, s, 1)

@@ -7,12 +7,25 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/encoding"
+)
+
+// Typed sentinel errors of the trace layer. Entry-shape violations wrap
+// the shared core sentinels (core.ErrWidth, core.ErrKRange) so callers
+// can classify a rejection uniformly across layers.
+var (
+	// ErrOutOfRange reports a trace-cycle index or absolute time outside
+	// the stored range.
+	ErrOutOfRange = errors.New("trace: outside stored range")
+	// ErrIncompatible reports two stores whose trace parameters (m, b,
+	// clock, epoch) do not admit a trace-cycle-aligned comparison.
+	ErrIncompatible = errors.New("trace: incompatible stores")
 )
 
 // Recorder captures the change instants of a single wire, cycle by
@@ -100,10 +113,10 @@ func NewStore(name string, clockHz float64, m, b int) *Store {
 func (s *Store) Append(entries ...core.LogEntry) error {
 	for _, e := range entries {
 		if e.TP.Width() != s.B {
-			return fmt.Errorf("trace: entry width %d, want %d", e.TP.Width(), s.B)
+			return fmt.Errorf("trace: entry width %d, want %d: %w", e.TP.Width(), s.B, core.ErrWidth)
 		}
 		if e.K < 0 || e.K > s.M {
-			return fmt.Errorf("trace: entry k=%d outside [0,%d]", e.K, s.M)
+			return fmt.Errorf("trace: entry k=%d outside [0,%d]: %w", e.K, s.M, core.ErrKRange)
 		}
 		s.entries = append(s.entries, e)
 	}
@@ -116,7 +129,7 @@ func (s *Store) Len() int { return len(s.entries) }
 // Entry returns the entry of trace-cycle tc.
 func (s *Store) Entry(tc int) (core.LogEntry, error) {
 	if tc < 0 || tc >= len(s.entries) {
-		return core.LogEntry{}, fmt.Errorf("trace: trace-cycle %d outside [0,%d)", tc, len(s.entries))
+		return core.LogEntry{}, fmt.Errorf("trace: trace-cycle %d outside [0,%d): %w", tc, len(s.entries), ErrOutOfRange)
 	}
 	return s.entries[tc], nil
 }
@@ -130,19 +143,41 @@ func (s *Store) Entries() []core.LogEntry {
 
 // TraceCycleAt returns the index of the trace-cycle covering the
 // absolute time t (seconds), and the clock-cycle within it.
+//
+// The cycle count (t−Epoch)·ClockHz often lands a hair off an integer
+// boundary (e.g. (2.253580−2.2534)·5e6), so it is snapped to the
+// nearest integer when within a tolerance. The tolerance is ULP-scaled,
+// not absolute: the dominant float64 error is the quantization of t
+// itself, worth ulp(t)·ClockHz cycles, which at high clock rates and
+// large t−Epoch exceeds any fixed constant (at 5 GHz and t ≈ 1000 s it
+// is ~1e-3 cycles), while a fixed floor large enough for that regime
+// would swallow genuinely distinct instants at coarser clocks.
 func (s *Store) TraceCycleAt(t float64) (tc int, cycle int, err error) {
 	if t < s.Epoch {
-		return 0, 0, fmt.Errorf("trace: time %.9fs before epoch %.9fs", t, s.Epoch)
+		return 0, 0, fmt.Errorf("trace: time %.9fs before epoch %.9fs: %w", t, s.Epoch, ErrOutOfRange)
 	}
-	// Floor with a small tolerance: the product often lands a hair
-	// below an integer cycle boundary (e.g. (2.253580-2.2534)*5e6).
-	abs := int64(math.Floor((t-s.Epoch)*s.ClockHz + 1e-6))
+	x := (t - s.Epoch) * s.ClockHz
+	// Snap to an integer boundary when x is within a few ULPs of one,
+	// accounting for both the rounding of t (and Epoch) at this clock
+	// rate and the rounding of the product itself.
+	tol := 4 * (ulp(math.Max(math.Abs(t), math.Abs(s.Epoch)))*s.ClockHz + ulp(x))
+	if r := math.Round(x); math.Abs(x-r) <= tol {
+		x = r
+	}
+	abs := int64(math.Floor(x))
 	tc = int(abs / int64(s.M))
 	cycle = int(abs % int64(s.M))
 	if tc >= len(s.entries) {
-		return 0, 0, fmt.Errorf("trace: time %.9fs beyond stored trace-cycles", t)
+		return 0, 0, fmt.Errorf("trace: time %.9fs beyond stored trace-cycles: %w", t, ErrOutOfRange)
 	}
 	return tc, cycle, nil
+}
+
+// ulp returns the distance from |x| to the next larger float64: the
+// spacing of representable values at x's magnitude.
+func ulp(x float64) float64 {
+	x = math.Abs(x)
+	return math.Nextafter(x, math.Inf(1)) - x
 }
 
 // TraceCycleStart returns the absolute start time (seconds) of
@@ -166,9 +201,20 @@ type Mismatch struct {
 
 // Compare diffs two stores trace-cycle by trace-cycle (up to the
 // shorter length) — the Section 5.2.2 hardware-vs-simulation check.
+// Both stores must share their full trace parameters: not just (m, b)
+// but also ClockHz and Epoch, because entry i of each store is compared
+// positionally, which is only meaningful when trace-cycle i covers the
+// same absolute time window in both. Stores recorded against different
+// epochs or clocks must be rebased explicitly by the caller first.
 func Compare(a, b *Store) ([]Mismatch, error) {
 	if a.M != b.M || a.B != b.B {
-		return nil, fmt.Errorf("trace: incompatible stores (m %d/%d, b %d/%d)", a.M, b.M, a.B, b.B)
+		return nil, fmt.Errorf("trace: m %d/%d, b %d/%d: %w", a.M, b.M, a.B, b.B, ErrIncompatible)
+	}
+	if a.ClockHz != b.ClockHz {
+		return nil, fmt.Errorf("trace: clock %g/%g Hz: %w", a.ClockHz, b.ClockHz, ErrIncompatible)
+	}
+	if a.Epoch != b.Epoch {
+		return nil, fmt.Errorf("trace: epoch %.9f/%.9f s: %w", a.Epoch, b.Epoch, ErrIncompatible)
 	}
 	n := len(a.entries)
 	if len(b.entries) < n {

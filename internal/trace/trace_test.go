@@ -1,9 +1,11 @@
 package trace
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/encoding"
 )
@@ -134,6 +136,118 @@ func TestTimeIndexing(t *testing.T) {
 	}
 	if _, _, err := st.TraceCycleAt(3.0); err == nil {
 		t.Error("beyond-store time accepted")
+	}
+}
+
+// fillStore appends n all-zero entries so time indexing has range.
+func fillStore(t *testing.T, st *Store, n int) {
+	t.Helper()
+	enc, err := encoding.Incremental(st.M, st.B, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := st.Append(core.Log(enc, core.NewSignal(st.M))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTraceCycleAtBoundaries5MHz round-trips every exact clock-cycle
+// boundary of the CAN experiment geometry (5 MHz, epoch 2.2534 s)
+// through CycleTime and back. The boundary times are not exactly
+// representable in float64, so TraceCycleAt must snap — the regression
+// guarded here is misclassifying a boundary into the neighboring cycle.
+func TestTraceCycleAtBoundaries5MHz(t *testing.T) {
+	st := NewStore("can", 5e6, 1000, 24)
+	st.Epoch = 2.2534
+	fillStore(t, st, 5)
+	for abs := 0; abs < 5*1000; abs += 7 {
+		wantTC, wantCyc := abs/1000, abs%1000
+		tc, cyc, err := st.TraceCycleAt(st.CycleTime(wantTC, wantCyc))
+		if err != nil {
+			t.Fatalf("cycle %d: %v", abs, err)
+		}
+		if tc != wantTC || cyc != wantCyc {
+			t.Fatalf("cycle %d: got tc=%d cyc=%d, want tc=%d cyc=%d", abs, tc, cyc, wantTC, wantCyc)
+		}
+		// Mid-cycle times are unambiguous and must not snap forward.
+		tc, cyc, err = st.TraceCycleAt(st.CycleTime(wantTC, wantCyc) + 0.5/st.ClockHz)
+		if err != nil || tc != wantTC || cyc != wantCyc {
+			t.Fatalf("mid-cycle %d: tc=%d cyc=%d err=%v", abs, tc, cyc, err)
+		}
+	}
+}
+
+// TestTraceCycleAtBoundaries5GHz is the high-rate regression: at 5 GHz
+// with a large epoch, one ULP of the timestamp is worth ~5.7e-4 clock
+// cycles — far beyond the old fixed 1e-6 tolerance — so boundary times
+// used to land one cycle early. The ULP-scaled tolerance must absorb
+// that quantization while mid-cycle times still resolve exactly.
+func TestTraceCycleAtBoundaries5GHz(t *testing.T) {
+	st := NewStore("ddr", 5e9, 8, 8)
+	st.Epoch = 1000.0 // ulp(1000) * 5e9 ≈ 5.7e-4 cycles of timestamp noise
+	fillStore(t, st, 64)
+	for abs := 0; abs < 64*8; abs++ {
+		wantTC, wantCyc := abs/8, abs%8
+		tc, cyc, err := st.TraceCycleAt(st.CycleTime(wantTC, wantCyc))
+		if err != nil {
+			t.Fatalf("cycle %d: %v", abs, err)
+		}
+		if tc != wantTC || cyc != wantCyc {
+			t.Fatalf("cycle %d: got tc=%d cyc=%d, want tc=%d cyc=%d", abs, tc, cyc, wantTC, wantCyc)
+		}
+		tc, cyc, err = st.TraceCycleAt(st.CycleTime(wantTC, wantCyc) + 0.5/st.ClockHz)
+		if err != nil || tc != wantTC || cyc != wantCyc {
+			t.Fatalf("mid-cycle %d: tc=%d cyc=%d err=%v", abs, tc, cyc, err)
+		}
+	}
+}
+
+func TestTraceTypedErrors(t *testing.T) {
+	st := NewStore("sig", 5e6, 1000, 24)
+	st.Epoch = 2.2534
+	fillStore(t, st, 2)
+	if _, _, err := st.TraceCycleAt(2.0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("pre-epoch: %v", err)
+	}
+	if _, _, err := st.TraceCycleAt(3.0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("beyond store: %v", err)
+	}
+	if _, err := st.Entry(2); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("entry: %v", err)
+	}
+	if err := st.Append(core.LogEntry{TP: bitvec.New(23), K: 1}); !errors.Is(err, core.ErrWidth) {
+		t.Errorf("width: %v", err)
+	}
+	if err := st.Append(core.LogEntry{TP: bitvec.New(24), K: 1001}); !errors.Is(err, core.ErrKRange) {
+		t.Errorf("k range: %v", err)
+	}
+}
+
+// TestCompareValidatesTraceParameters: positional comparison is only
+// meaningful when both stores cover the same absolute time windows, so
+// Compare must reject differing ClockHz or Epoch — not just (m, b).
+func TestCompareValidatesTraceParameters(t *testing.T) {
+	mk := func() *Store { return NewStore("s", 1e6, 16, 8) }
+	cases := []struct {
+		name   string
+		mutate func(*Store)
+	}{
+		{"m", func(s *Store) { s.M = 32 }},
+		{"b", func(s *Store) { s.B = 9 }},
+		{"clock", func(s *Store) { s.ClockHz = 2e6 }},
+		{"epoch", func(s *Store) { s.Epoch = 1.5 }},
+	}
+	for _, c := range cases {
+		a, b := mk(), mk()
+		c.mutate(b)
+		if _, err := Compare(a, b); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("%s mismatch: got %v, want ErrIncompatible", c.name, err)
+		}
+	}
+	if _, err := Compare(mk(), mk()); err != nil {
+		t.Errorf("identical params rejected: %v", err)
 	}
 }
 
