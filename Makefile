@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck
+# The guarded benchmarks and their recorded baseline (see
+# internal/benchdiff). -benchtime=1x -count=5 keeps the solver
+# workloads bounded while still giving the guard a median.
+BENCH_GUARD    ?= BenchmarkPresolveOnOff|BenchmarkParallelWorkers
+BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_FLAGS     = -run='^$$' -bench='$(BENCH_GUARD)' -count=5 -benchtime=1x .
+
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord metrics-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -33,3 +40,27 @@ bench-smoke:
 # oracle pair plus fault injection, under the race detector.
 diffcheck:
 	$(GO) run -race ./cmd/timeprint selfcheck -cases 200 -seed 1 -workers 2,4
+
+# benchdiff is the benchmark-regression guard: rerun the guarded
+# benchmarks and fail if any median slowed >30% against the recorded
+# baseline. benchrecord refreshes the baseline (do this deliberately,
+# on the same class of machine the guard will run on).
+benchdiff:
+	$(GO) test $(BENCH_FLAGS) | $(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -threshold 0.30
+
+benchrecord:
+	$(GO) test $(BENCH_FLAGS) | $(GO) run ./cmd/benchdiff -record -out $(BENCH_BASELINE) -note "count=5 benchtime=1x $(BENCH_GUARD)"
+
+# metrics-smoke exercises the observability contract end to end: a
+# selfcheck run dumps a -metrics snapshot, metricscheck validates the
+# JSON schema and the key instrument names, and `timeprint stats`
+# renders it. CI runs this as its own job.
+metrics-smoke:
+	$(GO) run ./cmd/timeprint selfcheck -cases 40 -metrics /tmp/timeprint-metrics.json
+	$(GO) run ./cmd/metricscheck -in /tmp/timeprint-metrics.json \
+		-counter sat.solve.calls -counter sat.decisions -counter sat.conflicts \
+		-counter sat.enumerate.models -counter sat.parallel.cubes \
+		-counter reconstruct.instances -counter reconstruct.candidates \
+		-counter core.wire.bytes_out \
+		-hist sat.solve.ns -hist reconstruct.enumerate.ns -hist reconstruct.build.ns
+	$(GO) run ./cmd/timeprint stats -in /tmp/timeprint-metrics.json

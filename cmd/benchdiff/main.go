@@ -1,0 +1,102 @@
+// Command benchdiff is the benchmark-regression guard around
+// internal/benchdiff. It consumes `go test -bench` output on stdin (or
+// -in) in two modes:
+//
+//	go test -bench ... -count=5 | benchdiff -record -out BENCH_PR3.json
+//	go test -bench ... -count=5 | benchdiff -baseline BENCH_PR3.json
+//
+// Record mode reduces the repeated runs to per-benchmark median ns/op
+// and writes the baseline JSON. Compare mode (the default) prints a
+// per-benchmark delta table and exits 1 if any benchmark's median
+// slowed past -threshold (default 0.30 = 30%) or vanished from the
+// current run. `make benchrecord` / `make benchdiff` wrap the two.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchdiff"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a baseline instead of comparing")
+	out := flag.String("out", "", "baseline file to write (record mode)")
+	baseline := flag.String("baseline", "", "baseline file to compare against")
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	threshold := flag.Float64("threshold", 0.30, "relative slowdown that fails the guard")
+	note := flag.String("note", "", "note stored in a recorded baseline")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	samples, err := benchdiff.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	medians := benchdiff.Summarize(samples)
+
+	if *record {
+		if *out == "" {
+			fail(fmt.Errorf("-record needs -out"))
+		}
+		nSamples := 0
+		for _, xs := range samples {
+			if len(xs) > nSamples {
+				nSamples = len(xs)
+			}
+		}
+		b := benchdiff.Baseline{Note: *note, Samples: nSamples, Benchmarks: medians}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := b.WriteBaseline(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks (%d samples each) to %s\n",
+			len(medians), nSamples, *out)
+		return
+	}
+
+	if *baseline == "" {
+		fail(fmt.Errorf("need -baseline (or -record -out)"))
+	}
+	f, err := os.Open(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	base, err := benchdiff.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	deltas, failures := benchdiff.Compare(base.Benchmarks, medians, *threshold)
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.0f%%: %v\n",
+			len(failures), 100**threshold, failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of %s\n",
+		len(deltas), 100**threshold, *baseline)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command metricscheck validates a metrics snapshot produced by a
+// -metrics flag (timeprint, tprbench): the JSON must parse as an
+// internal/obs snapshot (strict fields), every -counter must be
+// present with a positive value, and every -hist must be present with
+// at least one observation. CI's metrics-smoke job runs it against a
+// `timeprint selfcheck -metrics` dump, so the observability contract —
+// flag, file format, and the key instrument names — cannot silently
+// rot.
+//
+//	metricscheck -in m.json -counter sat.solve.calls -hist sat.solve.ns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var counters, hists listFlag
+	in := flag.String("in", "", "metrics snapshot file to validate")
+	flag.Var(&counters, "counter", "counter that must be present and positive (repeatable)")
+	flag.Var(&hists, "hist", "histogram that must be present with observations (repeatable)")
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("need -in"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	snap, err := obs.ParseSnapshot(f)
+	if err != nil {
+		fail(err)
+	}
+
+	var problems []string
+	for _, name := range counters {
+		v, ok := snap.Counters[name]
+		switch {
+		case !ok:
+			problems = append(problems, fmt.Sprintf("counter %q missing", name))
+		case v <= 0:
+			problems = append(problems, fmt.Sprintf("counter %q = %d, want > 0", name, v))
+		}
+	}
+	for _, name := range hists {
+		h, ok := snap.Histograms[name]
+		switch {
+		case !ok:
+			problems = append(problems, fmt.Sprintf("histogram %q missing", name))
+		case h.Count <= 0:
+			problems = append(problems, fmt.Sprintf("histogram %q has no observations", name))
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "metricscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok (%d counters, %d gauges, %d histograms; %d/%d requirements)\n",
+		*in, len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(counters), len(hists))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(1)
+}

@@ -11,10 +11,17 @@
 //	              [-prop "mingap(3); dk(32,3)"] [-parallel N]
 //	timeprint rate -m 1024 -b 24 -clock 100e6    logging bit-rate
 //	timeprint selfcheck -seed 1 -cases 200       differential oracle check
+//	timeprint stats -in metrics.json             pretty-print a metrics dump
 //
 // The wire dump format is one '0' or '1' per clock-cycle (whitespace
 // ignored). Reconstruction prints one candidate change-map per line,
 // clock-cycle 0 leftmost.
+//
+// reconstruct and selfcheck accept two observability flags: -metrics
+// FILE writes an internal/obs registry snapshot (solver counters,
+// presolve outcomes, span latencies) as JSON at exit, readable with
+// `timeprint stats`; -httpobs ADDR serves the live registry plus
+// expvar and net/http/pprof on ADDR for the duration of the run.
 //
 // selfcheck runs the internal/diffcheck trust harness: a seeded corpus
 // of randomized (encoding, entry) cases pushed through every
@@ -37,6 +44,7 @@ import (
 	timeprints "repro"
 	"repro/internal/core"
 	"repro/internal/diffcheck"
+	"repro/internal/obs"
 	"repro/internal/vcd"
 )
 
@@ -60,14 +68,81 @@ func main() {
 		cmdRate(args)
 	case "selfcheck":
 		cmdSelfcheck(args)
+	case "stats":
+		cmdStats(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: timeprint encode|minb|log|reconstruct|decode|rate|selfcheck [flags]")
+	fmt.Fprintln(os.Stderr, "usage: timeprint encode|minb|log|reconstruct|decode|rate|selfcheck|stats [flags]")
 	os.Exit(2)
+}
+
+// obsFlags registers the shared -metrics/-httpobs flags on fs and
+// returns a setup function to call after parsing. Setup returns the
+// registry (nil when neither flag was given, so the instrumented paths
+// stay on their free nil fast path) and a flush function that writes
+// the -metrics snapshot; call flush once the command's work is done.
+func obsFlags(fs *flag.FlagSet) func() (*obs.Registry, func()) {
+	metrics := fs.String("metrics", "", "write a metrics snapshot (JSON) to this file at exit")
+	httpAddr := fs.String("httpobs", "", "serve expvar, pprof and live metrics on this address (e.g. :6060)")
+	return func() (*obs.Registry, func()) {
+		if *metrics == "" && *httpAddr == "" {
+			return nil, func() {}
+		}
+		reg := obs.NewRegistry()
+		if *httpAddr != "" {
+			addr, err := obs.Serve(*httpAddr, reg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "httpobs: serving /debug/vars /debug/pprof /metrics on http://%s\n", addr)
+		}
+		flush := func() {
+			if *metrics == "" {
+				return
+			}
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fail(err)
+			}
+			if err := reg.DumpJSON(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+		return reg, flush
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "metrics snapshot file (as written by -metrics)")
+	asJSON := fs.Bool("json", false, "re-emit the snapshot as JSON instead of text")
+	_ = fs.Parse(args)
+	if *in == "" {
+		fail(fmt.Errorf("need -in"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	snap, err := obs.ParseSnapshot(f)
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(snap.Text())
 }
 
 func fail(err error) {
@@ -207,8 +282,10 @@ func cmdReconstruct(args []string) {
 	paired := fs.Bool("paired", false, "changes come in adjacent pairs")
 	propSpec := fs.String("prop", "", "property expression, e.g. \"mingap(3); dk(32,3)\"")
 	parallel := fs.Int("parallel", 1, "cube-split solver workers (1 = serial, 0 = GOMAXPROCS)")
+	obsSetup := obsFlags(fs)
 	_ = fs.Parse(args)
 	enc := newEncoding(*m, *b)
+	reg, flushObs := obsSetup()
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
@@ -249,7 +326,7 @@ func cmdReconstruct(args []string) {
 		props = append(props, p)
 	}
 
-	rec, err := timeprints.NewReconstructor(enc, entry, props, timeprints.Options{})
+	rec, err := timeprints.NewReconstructor(enc, entry, props, timeprints.Options{Obs: reg})
 	if err != nil {
 		fail(err)
 	}
@@ -271,6 +348,7 @@ func cmdReconstruct(args []string) {
 	default:
 		fmt.Printf("%d candidate(s) shown (limit reached)\n", len(sigs))
 	}
+	flushObs()
 }
 
 func cmdDecode(args []string) {
@@ -301,7 +379,15 @@ func cmdSelfcheck(args []string) {
 	seed := fs.Int64("seed", 1, "corpus seed")
 	cases := fs.Int("cases", 200, "number of (encoding, entry) cases")
 	workers := fs.String("workers", "2,4", "comma-separated worker counts for the parallel oracle")
+	obsSetup := obsFlags(fs)
 	_ = fs.Parse(args)
+	reg, flushObs := obsSetup()
+	if reg != nil {
+		// Wire-format counters (fault injection serializes logs) live on
+		// core's package-level observer.
+		core.SetObserver(reg)
+		defer core.SetObserver(nil)
+	}
 
 	var ws []int
 	for _, f := range strings.Split(*workers, ",") {
@@ -316,7 +402,7 @@ func cmdSelfcheck(args []string) {
 		ws = append(ws, w)
 	}
 
-	rep, err := diffcheck.Run(diffcheck.Config{Seed: *seed, Cases: *cases, Workers: ws})
+	rep, err := diffcheck.Run(diffcheck.Config{Seed: *seed, Cases: *cases, Workers: ws, Obs: reg})
 	if err != nil {
 		fail(err)
 	}
@@ -334,6 +420,7 @@ func cmdSelfcheck(args []string) {
 	for _, f := range frep.Failures {
 		fmt.Fprintln(os.Stderr, "FAULT NOT CONTAINED:", f)
 	}
+	flushObs() // before the failure exit, so a red run still dumps metrics
 	if !ok || !frep.Ok() {
 		os.Exit(1)
 	}

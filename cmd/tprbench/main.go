@@ -14,6 +14,13 @@
 // experiments with N workers (cube-split SAT portfolio for the CAN
 // queries, concurrent simulations and localizations for refresh/sweep;
 // 1 = the paper's serial tool, 0 = GOMAXPROCS).
+//
+// -metrics FILE dumps an internal/obs registry snapshot (solver
+// counters, presolve outcomes, pool utilization, span latencies) as
+// JSON when the run finishes — readable with `timeprint stats -in`.
+// -httpobs ADDR serves the live registry plus expvar and
+// net/http/pprof for the duration of the run, which is the intended
+// way to profile the long sweeps.
 package main
 
 import (
@@ -23,7 +30,9 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,9 +42,40 @@ func main() {
 	quick := flag.Bool("quick", false, "restrict tables to small m")
 	maxConflicts := flag.Int64("maxconflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
 	parallel := flag.Int("parallel", 1, "experiment worker count (1 = serial, 0 = GOMAXPROCS)")
+	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file at exit")
+	httpAddr := flag.String("httpobs", "", "serve expvar, pprof and live metrics on this address (e.g. :6060)")
 	flag.Parse()
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" || *httpAddr != "" {
+		reg = obs.NewRegistry()
+		core.SetObserver(reg)
+		defer core.SetObserver(nil)
+		if *httpAddr != "" {
+			addr, err := obs.Serve(*httpAddr, reg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "httpobs: serving /debug/vars /debug/pprof /metrics on http://%s\n", addr)
+		}
+	}
+	flushObs := func() {
+		if *metrics == "" {
+			return
+		}
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.DumpJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 
 	ran := false
@@ -46,6 +86,8 @@ func main() {
 		fmt.Println("== Table 1: reconstruction time for different m, k (incremental LI-4 timestamps) ==")
 		rows := bench.Table1(*quick, *maxConflicts, progress)
 		fmt.Println(bench.FormatTable1(rows))
+		fmt.Println("== Table 1 effort: SAT conflicts per cell (deterministic) ==")
+		fmt.Println(bench.FormatTable1Conflicts(rows))
 	}
 	if *all || *table == 2 {
 		ran = true
@@ -69,6 +111,7 @@ func main() {
 		fmt.Println("== Section 5.2.1: CAN bus communication ==")
 		canCfg := experiments.DefaultCANConfig()
 		canCfg.Parallel = *parallel
+		canCfg.Obs = reg
 		res, err := experiments.RunCAN(canCfg)
 		if err != nil {
 			fail(err)
@@ -87,6 +130,7 @@ func main() {
 		fmt.Println("== Section 5.2.2: temperature-compensated refresh effects (ambient 45C) ==")
 		refCfg := experiments.DefaultRefreshConfig(45)
 		refCfg.Parallel = *parallel
+		refCfg.Obs = reg
 		res, err := experiments.RunRefresh(refCfg)
 		if err != nil {
 			fail(err)
@@ -108,6 +152,7 @@ func main() {
 		fmt.Println("== Section 5.2.2: mismatch onset vs temperature ==")
 		sweepCfg := experiments.DefaultRefreshConfig(0)
 		sweepCfg.Parallel = *parallel
+		sweepCfg.Obs = reg
 		sweep, err := experiments.RefreshSweep(sweepCfg, []float64{25, 45, 65, 85})
 		if err != nil {
 			fail(err)
@@ -123,6 +168,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	flushObs()
 }
 
 func fail(err error) {

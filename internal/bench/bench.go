@@ -130,6 +130,11 @@ type Cell struct {
 	Duration  time.Duration
 	Status    sat.Status // Sat when candidates were found, Unsat if none
 	Solutions int
+	// Conflicts is the SAT conflict count the query cost — unlike
+	// Duration it is deterministic for a fixed (encoding, entry,
+	// query), so it is the machine-independent effort column reported
+	// next to the wall-clock times in EXPERIMENTS.md.
+	Conflicts int64
 	TimedOut  bool
 }
 
@@ -163,7 +168,11 @@ func RunQuery(enc *encoding.Encoding, entry core.LogEntry, q Query, maxConflicts
 		panic(fmt.Sprintf("bench: %v", err))
 	}
 	sigs, exhausted := rec.Enumerate(q.Limit)
-	cell := Cell{Duration: time.Since(start), Solutions: len(sigs)}
+	cell := Cell{
+		Duration:  time.Since(start),
+		Solutions: len(sigs),
+		Conflicts: rec.Stats().Solver.Conflicts,
+	}
 	switch {
 	case len(sigs) > 0:
 		cell.Status = sat.Sat
@@ -236,6 +245,32 @@ func FormatTable1(rows []Row) string {
 			fmt.Fprintf(&sb, " %12s", r.Cells[c])
 		}
 		fmt.Fprintf(&sb, " %9.2fMHz\n", r.RateHz/1e6)
+	}
+	return sb.String()
+}
+
+// FormatTable1Conflicts renders the Table 1 grid with each cell's
+// deterministic SAT-conflict count instead of wall-clock time — the
+// machine-independent companion table cited in EXPERIMENTS.md.
+func FormatTable1Conflicts(rows []Row) string {
+	var sb strings.Builder
+	cols := []string{"c-SAT.1", "c-SAT.10", "c+P2.1", "c+P2.10", "c+Dk.1", "c+Dk.10", "c+Dk+P2.1", "c+Dk+P2.10"}
+	fmt.Fprintf(&sb, "%-8s %-3s", "m/k", "b")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %12s", c)
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-3d", fmt.Sprintf("%d/%d", r.M, r.K), r.B)
+		for _, c := range cols {
+			cell := r.Cells[c]
+			if cell.TimedOut {
+				fmt.Fprintf(&sb, " %12s", "timeout")
+			} else {
+				fmt.Fprintf(&sb, " %12d", cell.Conflicts)
+			}
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }

@@ -104,6 +104,31 @@ func TestTable1RowSmall(t *testing.T) {
 	}
 }
 
+// TestCellConflictsDeterministic pins the conflicts-per-cell column:
+// the SAT effort of a fixed (m, k, query) is machine-independent, so
+// two runs must agree exactly, and the grid must render it.
+func TestCellConflictsDeterministic(t *testing.T) {
+	a := Table1Row(64, 3, 0)
+	b := Table1Row(64, 3, 0)
+	var nonzero bool
+	for name, cell := range a.Cells {
+		if cell.Conflicts != b.Cells[name].Conflicts {
+			t.Errorf("%s: conflicts %d vs %d across identical runs",
+				name, cell.Conflicts, b.Cells[name].Conflicts)
+		}
+		if cell.Conflicts > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("every cell reported zero conflicts")
+	}
+	out := FormatTable1Conflicts([]Row{a})
+	if !strings.Contains(out, "64/3") || !strings.Contains(out, "c+Dk+P2.10") {
+		t.Errorf("conflicts table format:\n%s", out)
+	}
+}
+
 func TestFormatTables(t *testing.T) {
 	rows := []Row{Table1Row(64, 3, 0)}
 	out := FormatTable1(rows)

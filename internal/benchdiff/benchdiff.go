@@ -1,0 +1,215 @@
+// Package benchdiff is a dependency-free benchmark-regression guard:
+// it parses `go test -bench` output, reduces repeated -count runs to a
+// per-benchmark median ns/op (the benchstat reduction, without the
+// external module), and compares a current run against a recorded
+// baseline JSON with a relative threshold.
+//
+// The guard exists for the performance-critical paths the paper's
+// evaluation rests on — the GF(2) presolve and the cube-split parallel
+// portfolio. `make benchrecord` captures a baseline (BENCH_PR3.json),
+// `make benchdiff` re-runs the benchmarks and fails if any median
+// regressed past the threshold, so a solver or pipeline change cannot
+// silently lose the speedups the experiments depend on.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed benchmark result line.
+type Sample struct {
+	// Name is the benchmark name with the trailing GOMAXPROCS suffix
+	// ("-8") stripped, so baselines compare across machines.
+	Name string
+	// N is the reported iteration count.
+	N int64
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64
+}
+
+// cpuSuffix matches the "-8" GOMAXPROCS suffix go test appends to
+// benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseLine parses one line of `go test -bench` output. ok is false
+// for every non-result line (headers, PASS/ok trailers, log output).
+func ParseLine(line string) (Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Sample{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || n <= 0 {
+		return Sample{}, false
+	}
+	// Value/unit pairs follow the iteration count; ns/op is the one we
+	// keep (custom b.ReportMetric units ride alongside it).
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Sample{}, false
+		}
+		name := strings.TrimPrefix(cpuSuffix.ReplaceAllString(fields[0], ""), "Benchmark")
+		return Sample{Name: name, N: n, NsPerOp: v}, true
+	}
+	return Sample{}, false
+}
+
+// Parse reads a whole `go test -bench` stream and groups the ns/op
+// samples of repeated -count runs by benchmark name.
+func Parse(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if s, ok := ParseLine(sc.Text()); ok {
+			out[s.Name] = append(out[s.Name], s.NsPerOp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark results in input")
+	}
+	return out, nil
+}
+
+// Median returns the median of xs (0 for an empty slice). The input is
+// not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// Summarize reduces grouped samples to per-benchmark median ns/op.
+func Summarize(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		out[name] = Median(xs)
+	}
+	return out
+}
+
+// Baseline is the recorded comparison target, serialized as indented
+// JSON (conventionally BENCH_PR3.json at the repository root).
+type Baseline struct {
+	// Note records how the baseline was produced (flags, host class).
+	Note string `json:"note,omitempty"`
+	// Samples is the -count the medians were reduced from.
+	Samples int `json:"samples,omitempty"`
+	// Benchmarks maps benchmark name to median ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// ReadBaseline decodes a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("benchdiff: invalid baseline: %w", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("benchdiff: baseline lists no benchmarks")
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the baseline as indented JSON (keys sorted by
+// encoding/json, so the file is diff-stable).
+func (b Baseline) WriteBaseline(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name string
+	// Base and Cur are median ns/op; 0 marks the side the benchmark is
+	// missing from.
+	Base, Cur float64
+	// Ratio is Cur/Base - 1 (+0.25 = 25% slower); 0 when either side
+	// is missing.
+	Ratio float64
+	// Status is "ok", "regressed", "improved", "missing" (in current)
+	// or "new" (not in baseline).
+	Status string
+}
+
+func (d Delta) String() string {
+	switch d.Status {
+	case "missing":
+		return fmt.Sprintf("%-55s %12.0f ns/op -> MISSING from current run", d.Name, d.Base)
+	case "new":
+		return fmt.Sprintf("%-55s %12s -> %12.0f ns/op (new, no baseline)", d.Name, "-", d.Cur)
+	default:
+		return fmt.Sprintf("%-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s",
+			d.Name, d.Base, d.Cur, 100*d.Ratio, d.Status)
+	}
+}
+
+// Compare evaluates current medians against a baseline. A benchmark
+// regresses when its median slowed by more than threshold (0.30 = 30%)
+// or disappeared from the current run; new benchmarks are reported but
+// never fail. Deltas come back sorted by name; failures lists the
+// names that should fail the build.
+func Compare(base, cur map[string]float64, threshold float64) (deltas []Delta, failures []string) {
+	names := make([]string, 0, len(base)+len(cur))
+	for n := range base {
+		names = append(names, n)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b, inBase := base[n]
+		c, inCur := cur[n]
+		d := Delta{Name: n, Base: b, Cur: c}
+		switch {
+		case !inCur:
+			d.Status = "missing"
+			failures = append(failures, n)
+		case !inBase:
+			d.Status = "new"
+		default:
+			d.Ratio = c/b - 1
+			// The epsilon keeps an exactly-at-threshold ratio (130 vs
+			// 100 at 0.30) from flapping on float rounding.
+			const eps = 1e-9
+			switch {
+			case d.Ratio > threshold+eps:
+				d.Status = "regressed"
+				failures = append(failures, n)
+			case d.Ratio < -threshold-eps:
+				d.Status = "improved"
+			default:
+				d.Status = "ok"
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, failures
+}

@@ -1,0 +1,203 @@
+package benchdiff
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// benchOutput is a realistic -count=3 `go test -bench` transcript,
+// including custom ReportMetric units, sub-benchmark names and the
+// non-result lines a real run interleaves.
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.40GHz
+BenchmarkPresolveOnOff/m=128/k=4/presolve-8         	       1	  11000000 ns/op	         2.000 fixed	         5.000 freed
+BenchmarkPresolveOnOff/m=128/k=4/presolve-8         	       1	  10000000 ns/op	         2.000 fixed	         5.000 freed
+BenchmarkPresolveOnOff/m=128/k=4/presolve-8         	       1	  12000000 ns/op	         2.000 fixed	         5.000 freed
+BenchmarkPresolveOnOff/m=128/k=4/raw-8              	       1	  20000000 ns/op	         0 fixed	         0 freed
+BenchmarkPresolveOnOff/m=128/k=4/raw-8              	       1	  22000000 ns/op	         0 fixed	         0 freed
+BenchmarkParallelWorkers/workers=2-8                	       2	   5000000 ns/op	      1514 candidates
+BenchmarkParallelWorkers/workers=2-8                	       2	   5500000 ns/op	      1514 candidates
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseLine(t *testing.T) {
+	s, ok := ParseLine("BenchmarkPresolveOnOff/m=128/k=4/presolve-8 \t 1\t  11000000 ns/op\t 2.000 fixed")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if s.Name != "PresolveOnOff/m=128/k=4/presolve" {
+		t.Errorf("name %q: Benchmark prefix or cpu suffix not stripped", s.Name)
+	}
+	if s.N != 1 || s.NsPerOp != 11000000 {
+		t.Errorf("parsed %+v", s)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.345s",
+		"BenchmarkBroken-8 not-a-number 5 ns/op",
+		"BenchmarkNoNs-8 	 3 	 7.5 MB/s",
+		"",
+	} {
+		if _, ok := ParseLine(bad); ok {
+			t.Errorf("line %q accepted as a result", bad)
+		}
+	}
+}
+
+func TestParseGroupsByName(t *testing.T) {
+	got, err := Parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	if n := len(got["PresolveOnOff/m=128/k=4/presolve"]); n != 3 {
+		t.Errorf("presolve samples %d, want 3", n)
+	}
+	if n := len(got["ParallelWorkers/workers=2"]); n != 2 {
+		t.Errorf("parallel samples %d, want 2", n)
+	}
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	} {
+		if got := Median(tc.xs); got != tc.want {
+			t.Errorf("Median(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+	// Input must survive unmodified.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median sorted its input in place")
+	}
+}
+
+func TestSummarizeMedians(t *testing.T) {
+	sum := Summarize(map[string][]float64{
+		"a": {11e6, 10e6, 12e6},
+		"b": {20e6, 22e6},
+	})
+	if sum["a"] != 11e6 || sum["b"] != 21e6 {
+		t.Errorf("summary %v", sum)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := Baseline{
+		Note:       "count=5 benchtime=1x",
+		Samples:    5,
+		Benchmarks: map[string]float64{"a": 1.5e6, "b": 2e6},
+	}
+	var buf bytes.Buffer
+	if err := b.WriteBaseline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != b.Note || got.Samples != b.Samples || len(got.Benchmarks) != 2 ||
+		got.Benchmarks["a"] != 1.5e6 {
+		t.Errorf("round trip %+v", got)
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"benchmarks":{}}`)); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	base := map[string]float64{
+		"steady":   100,
+		"slower":   100,
+		"faster":   100,
+		"boundary": 100,
+		"gone":     100,
+	}
+	cur := map[string]float64{
+		"steady":   110,
+		"slower":   140, // +40% > 30%
+		"faster":   60,  // -40%
+		"boundary": 130, // exactly +30%: not a regression
+		"brandnew": 50,
+	}
+	deltas, failures := Compare(base, cur, 0.30)
+	if len(deltas) != 6 {
+		t.Fatalf("%d deltas, want 6", len(deltas))
+	}
+	status := map[string]string{}
+	for _, d := range deltas {
+		status[d.Name] = d.Status
+	}
+	want := map[string]string{
+		"steady": "ok", "slower": "regressed", "faster": "improved",
+		"boundary": "ok", "gone": "missing", "brandnew": "new",
+	}
+	for n, w := range want {
+		if status[n] != w {
+			t.Errorf("%s: status %q, want %q", n, status[n], w)
+		}
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures %v, want [gone slower]", failures)
+	}
+	if failures[0] != "gone" || failures[1] != "slower" {
+		t.Errorf("failures %v not sorted by name", failures)
+	}
+	for _, d := range deltas {
+		if d.Name == "slower" && math.Abs(d.Ratio-0.40) > 1e-9 {
+			t.Errorf("slower ratio %f, want 0.40", d.Ratio)
+		}
+		if d.String() == "" {
+			t.Errorf("%s: empty rendering", d.Name)
+		}
+	}
+}
+
+// TestEndToEndGuard is the whole guard in miniature: record a baseline
+// from one transcript, then fail a doctored rerun where the raw
+// (no-presolve) path got 2x slower.
+func TestEndToEndGuard(t *testing.T) {
+	rec, err := Parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline{Benchmarks: Summarize(rec), Samples: 3}
+
+	slowed := strings.ReplaceAll(benchOutput, "  20000000 ns/op", "  40000000 ns/op")
+	slowed = strings.ReplaceAll(slowed, "  22000000 ns/op", "  44000000 ns/op")
+	cur, err := Parse(strings.NewReader(slowed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := Compare(base.Benchmarks, Summarize(cur), 0.30)
+	if len(failures) != 1 || failures[0] != "PresolveOnOff/m=128/k=4/raw" {
+		t.Fatalf("failures %v, want the doctored raw benchmark only", failures)
+	}
+
+	// An identical rerun passes.
+	if _, failures := Compare(base.Benchmarks, Summarize(rec), 0.30); len(failures) != 0 {
+		t.Fatalf("identical run failed the guard: %v", failures)
+	}
+}

@@ -18,7 +18,7 @@ func countModels(t *testing.T, n int, install func(b *Builder, lits []int)) int 
 	}
 	install(b, lits)
 	proj := lits
-	cnt, exhausted := b.S.CountModels(proj, 0)
+	cnt, exhausted, _ := b.S.CountModels(proj, 0)
 	if !exhausted {
 		t.Fatal("enumeration did not exhaust")
 	}
@@ -100,7 +100,7 @@ func TestCardinalityOverNegatedLiterals(t *testing.T) {
 	// Exactly 2 of {¬x1, ¬x2, ¬x3, ¬x4} true = exactly 2 of x true.
 	b := NewBuilder(4)
 	b.ExactlyK([]int{-1, -2, -3, -4}, 2)
-	cnt, _ := b.S.CountModels([]int{1, 2, 3, 4}, 0)
+	cnt, _, _ := b.S.CountModels([]int{1, 2, 3, 4}, 0)
 	if cnt != 6 {
 		t.Errorf("count %d want 6", cnt)
 	}
@@ -125,11 +125,11 @@ func TestXorCNFMatchesNative(t *testing.T) {
 
 		bn := NewBuilder(n)
 		bn.AddXor(vars, rhs)
-		cn, ok1 := bn.S.CountModels(proj, 0)
+		cn, ok1, _ := bn.S.CountModels(proj, 0)
 
 		bc := NewBuilder(n)
 		bc.AddXorCNF(vars, rhs)
-		cc, ok2 := bc.S.CountModels(proj, 0)
+		cc, ok2, _ := bc.S.CountModels(proj, 0)
 
 		if !ok1 || !ok2 || cn != cc {
 			t.Fatalf("trial %d: native %d (%v) vs cnf %d (%v), vars=%v rhs=%v",
@@ -182,7 +182,7 @@ func TestImpliesEquiv(t *testing.T) {
 
 	b2 := NewBuilder(2)
 	b2.Equiv(1, 2)
-	cnt, _ := b2.S.CountModels([]int{1, 2}, 0)
+	cnt, _, _ := b2.S.CountModels([]int{1, 2}, 0)
 	if cnt != 2 {
 		t.Errorf("equiv model count %d", cnt)
 	}
@@ -194,7 +194,7 @@ func TestCardinalityWithXorInteraction(t *testing.T) {
 	b := NewBuilder(4)
 	b.AddXor([]int{1, 2, 3, 4}, false)
 	b.ExactlyK([]int{1, 2, 3, 4}, 2)
-	cnt, _ := b.S.CountModels([]int{1, 2, 3, 4}, 0)
+	cnt, _, _ := b.S.CountModels([]int{1, 2, 3, 4}, 0)
 	if cnt != 6 {
 		t.Errorf("count %d want 6", cnt)
 	}
@@ -227,7 +227,7 @@ func TestXorCutMatchesNative(t *testing.T) {
 
 		ref := NewBuilder(n)
 		ref.AddXor(vars, rhs)
-		want, ok := ref.S.CountModels(proj, 0)
+		want, ok, _ := ref.S.CountModels(proj, 0)
 		if !ok {
 			t.Fatal("reference enumeration incomplete")
 		}
@@ -235,7 +235,7 @@ func TestXorCutMatchesNative(t *testing.T) {
 		for _, cut := range []int{3, 4, 5, 8} {
 			b := NewBuilder(n)
 			b.AddXorCut(vars, rhs, cut)
-			got, ok := b.S.CountModels(proj, 0)
+			got, ok, _ := b.S.CountModels(proj, 0)
 			if !ok || got != want {
 				t.Fatalf("trial %d cut %d: %d models, want %d (vars=%v rhs=%v)",
 					trial, cut, got, want, vars, rhs)

@@ -44,6 +44,7 @@ func (l *Logger) TickChange(changed bool) (LogEntry, bool) {
 	if l.cycle == l.enc.M() {
 		e := LogEntry{TP: l.tp.Clone(), K: l.k}
 		l.entries = append(l.entries, e)
+		Observer().Counter(MetricEntriesLogged).Inc()
 		l.tp = bitvec.New(l.enc.B())
 		l.k = 0
 		l.cycle = 0

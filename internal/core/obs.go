@@ -1,0 +1,58 @@
+package core
+
+import (
+	"io"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Metric names published by the core layer.
+const (
+	// MetricEntriesLogged counts trace-cycle entries closed by streaming
+	// Loggers (one per completed trace-cycle).
+	MetricEntriesLogged = "core.log.entries"
+	// MetricWireBytesOut / MetricWireBytesIn count wire-format bytes
+	// serialized by WriteLog and consumed by ReadLog.
+	MetricWireBytesOut = "core.wire.bytes_out"
+	MetricWireBytesIn  = "core.wire.bytes_in"
+	// MetricWireEntriesOut counts entries serialized by WriteLog.
+	MetricWireEntriesOut = "core.wire.entries_out"
+)
+
+// observer is the package-level registry for the core layer's free
+// functions (WriteLog/ReadLog have no receiver to hang a registry on).
+// It defaults to nil — all instruments no-op — and is swapped
+// atomically so observed and unobserved code paths can coexist.
+var observer atomic.Pointer[obs.Registry]
+
+// SetObserver routes the core layer's metrics into r (nil detaches).
+func SetObserver(r *obs.Registry) { observer.Store(r) }
+
+// Observer returns the currently attached registry (possibly nil; all
+// obs instruments tolerate that).
+func Observer() *obs.Registry { return observer.Load() }
+
+// countingWriter counts bytes passed through to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader counts bytes consumed from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

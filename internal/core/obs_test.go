@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/obs"
+)
+
+func TestCoreObserverCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetObserver(reg)
+	defer SetObserver(nil)
+
+	enc, err := encoding.Incremental(8, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := NewLogger(enc)
+	lvl := false
+	for i := 0; i < 3*8; i++ {
+		if i%3 == 0 {
+			lvl = !lvl
+		}
+		lg.TickValue(lvl)
+	}
+	if got := reg.Snapshot().Counters[MetricEntriesLogged]; got != 3 {
+		t.Fatalf("%s = %d, want 3", MetricEntriesLogged, got)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, enc.M(), enc.B(), lg.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricWireBytesOut]; got != int64(buf.Len()) {
+		t.Errorf("%s = %d, want %d", MetricWireBytesOut, got, buf.Len())
+	}
+	if got := snap.Counters[MetricWireEntriesOut]; got != 3 {
+		t.Errorf("%s = %d, want 3", MetricWireEntriesOut, got)
+	}
+
+	if _, _, _, err := ReadLog(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters[MetricWireBytesIn]; got != int64(buf.Len()) {
+		t.Errorf("%s = %d, want %d", MetricWireBytesIn, got, buf.Len())
+	}
+}
+
+// TestCoreObserverDetached checks the default (nil observer) path stays
+// silent and does not panic anywhere.
+func TestCoreObserverDetached(t *testing.T) {
+	SetObserver(nil)
+	enc, err := encoding.Incremental(8, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := NewLogger(enc)
+	for i := 0; i < 8; i++ {
+		lg.TickChange(i == 2)
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, enc.M(), enc.B(), lg.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadLog(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}

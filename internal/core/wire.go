@@ -21,7 +21,13 @@ const wireMagic = 0x54505231 // "TPR1"
 // WriteLog serializes entries produced under trace-cycle length m and
 // timeprint width b.
 func WriteLog(w io.Writer, m, b int, entries []LogEntry) error {
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	defer func() {
+		r := Observer()
+		r.Counter(MetricWireBytesOut).Add(cw.n)
+		r.Counter(MetricWireEntriesOut).Add(int64(len(entries)))
+	}()
+	bw := bufio.NewWriter(cw)
 	head := []any{uint32(wireMagic), uint32(m), uint32(b), uint32(len(entries))}
 	for _, h := range head {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
@@ -52,7 +58,9 @@ func WriteLog(w io.Writer, m, b int, entries []LogEntry) error {
 
 // ReadLog deserializes a timeprint log, returning (m, b, entries).
 func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: r}
+	defer func() { Observer().Counter(MetricWireBytesIn).Add(cr.n) }()
+	br := bufio.NewReader(cr)
 	var magic, um, ub, n uint32
 	for _, p := range []*uint32{&magic, &um, &ub, &n} {
 		if err = binary.Read(br, binary.LittleEndian, p); err != nil {

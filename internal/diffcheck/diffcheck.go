@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 )
 
 // Geometry is one point of the (m, b, scheme) sweep.
@@ -93,6 +94,9 @@ type Config struct {
 	// Values <= decode.MaxK exercise the algebraic decoder, larger ones
 	// the SAT-only regime.
 	MaxK int
+	// Obs, when non-nil, receives the SAT oracles' solver and presolve
+	// metrics (the CLI's `selfcheck -metrics` path); nil costs nothing.
+	Obs *obs.Registry
 }
 
 func (c Config) cases() int {
@@ -235,7 +239,7 @@ func (r *Report) Ok() bool { return len(r.Divergences) == 0 && r.TruthMisses == 
 func Run(cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sweep := cfg.sweep()
-	oracles := buildOracles(cfg.workerCounts())
+	oracles := buildOracles(cfg.workerCounts(), cfg.Obs)
 	rep := &Report{PerOracle: map[string]int{}}
 
 	for n := 0; n < cfg.cases(); n++ {
@@ -283,7 +287,7 @@ func Replay(cs CaseSpec, workers []int) (*Report, error) {
 	if len(workers) == 0 {
 		workers = Config{}.workerCounts()
 	}
-	if err := runCase(rep, buildOracles(workers), cs, enc, entry, truth); err != nil {
+	if err := runCase(rep, buildOracles(workers, nil), cs, enc, entry, truth); err != nil {
 		return nil, err
 	}
 	rep.Cases = 1

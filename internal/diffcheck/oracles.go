@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decode"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/reconstruct"
 	"repro/internal/sat"
 )
@@ -36,7 +37,10 @@ type oracle struct {
 // sat-first-par additionally races the parallel first-solution driver
 // and checks membership of its answer in the serial set (it cannot be
 // compared as a set, so it is folded into the sat oracle's runner).
-func buildOracles(workers []int) []oracle {
+//
+// reg, when non-nil, receives the SAT-path solver metrics; the other
+// oracles have no solver underneath and publish nothing.
+func buildOracles(workers []int, reg *obs.Registry) []oracle {
 	oracles := []oracle{
 		{
 			name:    "decode",
@@ -63,7 +67,7 @@ func buildOracles(workers []int) []oracle {
 			name:    "sat",
 			applies: func(CaseSpec) bool { return true },
 			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
-				r, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+				r, err := reconstruct.New(enc, entry, nil, reconstruct.Options{Obs: reg})
 				if err != nil {
 					return nil, err
 				}
@@ -99,7 +103,7 @@ func buildOracles(workers []int) []oracle {
 			name:    fmt.Sprintf("sat-par-%d", w),
 			applies: func(CaseSpec) bool { return true },
 			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
-				r, err := reconstruct.New(enc, entry, nil, reconstruct.Options{})
+				r, err := reconstruct.New(enc, entry, nil, reconstruct.Options{Obs: reg})
 				if err != nil {
 					return nil, err
 				}

@@ -8,10 +8,21 @@ import (
 	"repro/internal/can"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/properties"
 	"repro/internal/reconstruct"
 	"repro/internal/sat"
 	"repro/internal/trace"
+)
+
+// Span and metric names published by the experiments layer.
+const (
+	SpanCAN      = "experiments.can"
+	SpanRefresh  = "experiments.refresh"
+	SpanLocalize = "experiments.localize"
+	// PoolName prefixes the worker-pool gauges and counters (see
+	// runPoolMetered).
+	PoolName = "experiments.pool"
 )
 
 // CANConfig parameterizes the Section 5.2.1 experiment: timeprints are
@@ -43,6 +54,9 @@ type CANConfig struct {
 	// solved with a cube-split portfolio of that many cloned solvers.
 	// <= 1 runs the paper's serial path.
 	Parallel int
+	// Obs, when non-nil, receives the experiment's metrics and is
+	// threaded through the store and every reconstruction query.
+	Obs *obs.Registry
 }
 
 // DefaultCANConfig returns the paper's parameters.
@@ -110,6 +124,7 @@ func frameChangePositions(bits []bool, offset int) []int {
 
 // RunCAN executes the experiment.
 func RunCAN(cfg CANConfig) (*CANResult, error) {
+	defer cfg.Obs.StartSpan(SpanCAN).End()
 	enc, err := encoding.Incremental(cfg.M, cfg.B, 4)
 	if err != nil {
 		return nil, err
@@ -188,6 +203,7 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 		return nil, err
 	}
 	store := trace.NewStore("canbus", cfg.BitRate, cfg.M, cfg.B)
+	store.Obs = cfg.Obs
 	if err := store.Append(entries...); err != nil {
 		return nil, err
 	}
@@ -234,7 +250,7 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 
 	solve := func(prop properties.OneOfSignals) ([]core.Signal, time.Duration, error) {
 		start := time.Now()
-		rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{prop}, reconstruct.Options{})
+		rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{prop}, reconstruct.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -284,7 +300,7 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 	// deadline. Unsat settles liability.
 	start := time.Now()
 	prop := candidateSet(cfg.WindowLo, cfg.DeadlineCycle)
-	rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{prop}, reconstruct.Options{})
+	rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{prop}, reconstruct.Options{Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}

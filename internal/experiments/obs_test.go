@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/reconstruct"
+	"repro/internal/sat"
+	"repro/internal/trace"
+)
+
+func TestRunPoolMetered(t *testing.T) {
+	reg := obs.NewRegistry()
+	var ran atomic.Int64
+	runPoolMetered(10, 4, reg, "test.pool", func(i int) { ran.Add(1) })
+	if ran.Load() != 10 {
+		t.Fatalf("%d jobs ran, want 10", ran.Load())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["test.pool"+PoolJobsSuffix]; got != 10 {
+		t.Errorf("jobs counter %d, want 10", got)
+	}
+	if got := snap.Gauges["test.pool"+PoolQueueSuffix].Value; got != 0 {
+		t.Errorf("queue depth %d after drain, want 0", got)
+	}
+	busy := snap.Gauges["test.pool"+PoolBusySuffix]
+	if busy.Value != 0 {
+		t.Errorf("busy gauge %d after drain, want 0", busy.Value)
+	}
+	if busy.Max < 1 {
+		t.Errorf("peak busy %d, want >= 1", busy.Max)
+	}
+	// Nil registry must not panic and must still run every job.
+	ran.Store(0)
+	runPoolMetered(5, 2, nil, "test.pool", func(i int) { ran.Add(1) })
+	if ran.Load() != 5 {
+		t.Fatalf("nil-registry pool ran %d jobs, want 5", ran.Load())
+	}
+}
+
+// TestRefreshExperimentPublishesMetrics runs the small 5.2.2 geometry
+// with a registry attached and checks the whole pipeline reported
+// through it: experiment span, pool jobs, store comparisons, presolve
+// outcomes, solver counters and localization spans.
+func TestRefreshExperimentPublishesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallRefreshConfig(65)
+	cfg.Obs = reg
+	res, err := RunRefresh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TPMismatches) == 0 {
+		t.Fatal("experiment vacuous: no TP mismatches")
+	}
+	snap := reg.Snapshot()
+
+	if snap.Histograms[SpanRefresh+".ns"].Count != 1 {
+		t.Error("refresh span not recorded exactly once")
+	}
+	if got := snap.Histograms[SpanLocalize+".ns"].Count; got != int64(len(res.TPMismatches)) {
+		t.Errorf("localize spans %d, want one per TP mismatch (%d)", got, len(res.TPMismatches))
+	}
+	if snap.Counters[PoolName+PoolJobsSuffix] == 0 {
+		t.Error("worker pool recorded no jobs")
+	}
+	if got := snap.Counters[trace.MetricCompareTPMismatch]; got < int64(len(res.TPMismatches)) {
+		t.Errorf("compare counter %d TP mismatches, result has %d", got, len(res.TPMismatches))
+	}
+	if snap.Counters[reconstruct.MetricInstances] == 0 {
+		t.Error("no reconstruction instances counted")
+	}
+	if snap.Counters[sat.MetricSolveCalls] == 0 {
+		t.Error("no solver calls reached the registry")
+	}
+	if snap.Counters[trace.MetricEntriesAppended] == 0 {
+		t.Error("no store entries counted")
+	}
+}

@@ -1,6 +1,10 @@
 package experiments
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // runPool runs n independent jobs through a bounded pool of at most
 // workers goroutines. With workers <= 1 the jobs run serially on the
@@ -34,4 +38,36 @@ func runPool(n, workers int, job func(i int)) {
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// Pool metric names: <name>.queue is the undispatched-job depth,
+// <name>.busy the currently-running job count (its Max is the peak
+// worker utilization), <name>.jobs the total jobs completed.
+const (
+	PoolQueueSuffix = ".queue"
+	PoolBusySuffix  = ".busy"
+	PoolJobsSuffix  = ".jobs"
+)
+
+// runPoolMetered is runPool with queue-depth and utilization metrics
+// published under the given name. A nil registry degrades to the plain
+// pool with no per-job overhead.
+func runPoolMetered(n, workers int, r *obs.Registry, name string, job func(i int)) {
+	if r == nil {
+		runPool(n, workers, job)
+		return
+	}
+	queue := r.Gauge(name + PoolQueueSuffix)
+	busy := r.Gauge(name + PoolBusySuffix)
+	jobs := r.Counter(name + PoolJobsSuffix)
+	queue.Set(int64(n))
+	runPool(n, workers, func(i int) {
+		queue.Add(-1)
+		busy.Add(1)
+		defer func() {
+			busy.Add(-1)
+			jobs.Inc()
+		}()
+		job(i)
+	})
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/properties"
 	"repro/internal/reconstruct"
 	"repro/internal/soc"
@@ -41,6 +42,10 @@ type RefreshConfig struct {
 	// trace-cycle's diagnosis is an independent SAT query). <= 1 runs
 	// everything serially, exactly as the paper's single-threaded tool.
 	Parallel int
+	// Obs, when non-nil, receives the experiment's metrics (pool
+	// utilization, per-trace-cycle localization spans) and is threaded
+	// through the stores and every reconstruction query.
+	Obs *obs.Registry
 }
 
 // DefaultRefreshConfig returns the configuration used throughout the
@@ -133,6 +138,7 @@ type RefreshResult struct {
 // simulation, the fixed simulation, log comparison and delay
 // localization.
 func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
+	defer cfg.Obs.StartSpan(SpanRefresh).End()
 	enc, err := encoding.Incremental(cfg.M, cfg.B, 4)
 	if err != nil {
 		return nil, err
@@ -148,7 +154,7 @@ func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
 			return nil, nil, err
 		}
 		sys.Run(cycles)
-		st, err := sys.Store("addr")
+		st, err := sys.StoreObserved("addr", cfg.Obs)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -162,7 +168,7 @@ func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
 	syss := make([]*soc.System, len(mems))
 	stores := make([]*trace.Store, len(mems))
 	errs := make([]error, len(mems))
-	runPool(len(mems), cfg.Parallel, func(i int) {
+	runPoolMetered(len(mems), cfg.Parallel, cfg.Obs, PoolName, func(i int) {
 		syss[i], stores[i], errs[i] = run(mems[i])
 	})
 	for _, err := range errs {
@@ -214,8 +220,8 @@ func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
 	// in trace-cycle order regardless of scheduling.
 	locs := make([]Localization, len(res.TPMismatches))
 	locErrs := make([]error, len(res.TPMismatches))
-	runPool(len(res.TPMismatches), cfg.Parallel, func(i int) {
-		locs[i], locErrs[i] = localizeDelay(enc, hwSt, refs, hwRefs, res.TPMismatches[i])
+	runPoolMetered(len(res.TPMismatches), cfg.Parallel, cfg.Obs, PoolName, func(i int) {
+		locs[i], locErrs[i] = localizeDelay(enc, hwSt, refs, hwRefs, res.TPMismatches[i], cfg.Obs)
 	})
 	for _, err := range locErrs {
 		if err != nil {
@@ -234,7 +240,8 @@ func RunRefresh(cfg RefreshConfig) (*RefreshResult, error) {
 // it was. When no single delay explains the timeprint (two collisions
 // landed in one trace-cycle), it falls back to the two-delay variant
 // set.
-func localizeDelay(enc *encoding.Encoding, hwSt *trace.Store, refs, hwRefs []core.Signal, tc int) (Localization, error) {
+func localizeDelay(enc *encoding.Encoding, hwSt *trace.Store, refs, hwRefs []core.Signal, tc int, reg *obs.Registry) (Localization, error) {
+	defer reg.StartSpan(SpanLocalize).End()
 	entry, err := hwSt.Entry(tc)
 	if err != nil {
 		return Localization{}, err
@@ -249,7 +256,7 @@ func localizeDelay(enc *encoding.Encoding, hwSt *trace.Store, refs, hwRefs []cor
 		if len(prop.Candidates) == 0 {
 			continue
 		}
-		rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{prop}, reconstruct.Options{})
+		rec, err := reconstruct.New(enc, entry, []reconstruct.Constraint{prop}, reconstruct.Options{Obs: reg})
 		if err != nil {
 			return loc, err
 		}
@@ -327,7 +334,7 @@ func RefreshSweep(base RefreshConfig, ambients []float64) ([]*RefreshResult, err
 	// Fan the ambients out across the pool; each inner run then stays
 	// serial (inner.Parallel = 1) so the total goroutine count is
 	// bounded by base.Parallel rather than its square.
-	runPool(len(ambients), base.Parallel, func(i int) {
+	runPoolMetered(len(ambients), base.Parallel, base.Obs, PoolName, func(i int) {
 		cfg := base
 		cfg.AmbientC = ambients[i]
 		if base.Parallel > 1 {

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+)
+
+// expvar.Publish panics on duplicate names; publish each registry name
+// at most once per process.
+var (
+	publishMu   sync.Mutex
+	publishDone = map[string]bool{}
+	metricsOnce sync.Once
+)
+
+// Publish exposes the registry's live snapshot as an expvar variable
+// under the given name (conventionally "timeprints"), so it appears in
+// /debug/vars next to the Go runtime's memstats. Publishing the same
+// name twice is a no-op — the first registry stays, matching expvar's
+// own immutability.
+func Publish(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishDone[name] {
+		return
+	}
+	publishDone[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve starts an HTTP server on addr exposing live observability for
+// long sweeps:
+//
+//	/debug/vars         expvar, including the registry under "timeprints"
+//	/debug/pprof/...    net/http/pprof live profiling
+//	/metrics            the registry snapshot as indented JSON
+//	/metrics.txt        the registry snapshot in stable text form
+//
+// It returns once the listener is bound (so callers can print the
+// resolved address) and serves in a background goroutine for the rest
+// of the process lifetime; errors after bind are reported on errc if
+// non-nil. This is the opt-in -httpobs endpoint of the CLIs.
+func Serve(addr string, r *Registry) (net.Addr, error) {
+	Publish("timeprints", r)
+	mux := http.DefaultServeMux // pprof + expvar already registered here
+	metricsOnce.Do(func() {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.DumpJSON(w)
+		})
+		http.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, r.Snapshot().Text())
+		})
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: httpobs listen %s: %w", addr, err)
+	}
+	go func() {
+		// Serve for process lifetime; the CLI exits, the listener dies.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr(), nil
+}

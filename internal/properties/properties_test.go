@@ -24,7 +24,7 @@ func enumerateUnder(t *testing.T, p Property, m int) map[string]bool {
 		t.Fatalf("%s: %v", p, err)
 	}
 	out := map[string]bool{}
-	_, st := b.S.EnumerateModels(vars, 0, func(model map[int]bool) bool {
+	_, st, _ := b.S.EnumerateModels(vars, 0, func(model map[int]bool) bool {
 		v := bitvec.New(m)
 		for i, x := range vars {
 			if model[x] {

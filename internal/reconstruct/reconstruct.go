@@ -21,6 +21,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -59,7 +60,32 @@ type Options struct {
 	// any SAT search, unit rows become fixed positions, and redundant
 	// rows are dropped before the CNF is built.
 	NoPresolve bool
+	// Obs, when non-nil, receives the layer's metrics (presolve
+	// outcomes, candidate counts, build/enumerate spans) and is handed
+	// down to the underlying SAT solver. Nil is fully supported and is
+	// the fast path.
+	Obs *obs.Registry
 }
+
+// Metric names published by the reconstruction layer.
+const (
+	// MetricInstances counts SAT instances built by New.
+	MetricInstances = "reconstruct.instances"
+	// Presolve outcome counters: instances refuted outright by the
+	// GF(2) elimination, positions fixed by unit rows, redundant parity
+	// rows eliminated, and instances built with presolve disabled.
+	MetricPresolveInconsistent = "reconstruct.presolve.inconsistent"
+	MetricPresolveFixed        = "reconstruct.presolve.fixed"
+	MetricPresolveFreed        = "reconstruct.presolve.freed"
+	MetricPresolveDisabled     = "reconstruct.presolve.disabled"
+	// MetricCandidates counts candidate signals delivered by the
+	// enumeration APIs.
+	MetricCandidates = "reconstruct.candidates"
+	// SpanBuild and SpanEnumerate time instance construction and
+	// (serial or parallel) enumeration.
+	SpanBuild     = "reconstruct.build"
+	SpanEnumerate = "reconstruct.enumerate"
+)
 
 func (o Options) cutLen() int {
 	switch {
@@ -105,11 +131,13 @@ type Reconstructor struct {
 	builder  *cnf.Builder
 	vars     []int
 	presolve PresolveStats
+	obs      *obs.Registry
 }
 
 // New builds the SAT instance for entry under enc, with the given
 // property constraints (may be nil).
 func New(enc *encoding.Encoding, entry core.LogEntry, constraints []Constraint, opts Options) (*Reconstructor, error) {
+	defer opts.Obs.StartSpan(SpanBuild).End()
 	m, b := enc.M(), enc.B()
 	if entry.TP.Width() != b {
 		return nil, fmt.Errorf("reconstruct: timeprint width %d, want %d: %w", entry.TP.Width(), b, core.ErrWidth)
@@ -119,11 +147,23 @@ func New(enc *encoding.Encoding, entry core.LogEntry, constraints []Constraint, 
 	}
 
 	bld := cnf.NewBuilder(m)
+	bld.S.Obs = opts.Obs
 	vars := make([]int, m)
 	for i := range vars {
 		vars[i] = i + 1
 	}
-	r := &Reconstructor{enc: enc, entry: entry, builder: bld, vars: vars}
+	r := &Reconstructor{enc: enc, entry: entry, builder: bld, vars: vars, obs: opts.Obs}
+	opts.Obs.Counter(MetricInstances).Inc()
+	if opts.NoPresolve {
+		opts.Obs.Counter(MetricPresolveDisabled).Inc()
+	}
+	defer func() {
+		if r.presolve.Inconsistent {
+			opts.Obs.Counter(MetricPresolveInconsistent).Inc()
+		}
+		opts.Obs.Counter(MetricPresolveFixed).Add(int64(r.presolve.Fixed))
+		opts.Obs.Counter(MetricPresolveFreed).Add(int64(r.presolve.Freed))
+	}()
 
 	emitRow := func(row []int, rhs bool) {
 		if opts.XorAsCNF {
@@ -246,8 +286,9 @@ func (r *Reconstructor) model() core.Signal {
 // Each signal is verified against the log entry before being returned;
 // a mismatch indicates a solver bug and panics.
 func (r *Reconstructor) Enumerate(limit int) ([]core.Signal, bool) {
+	defer r.obs.StartSpan(SpanEnumerate).End()
 	var out []core.Signal
-	n, st := r.builder.S.EnumerateModels(r.vars, limit, func(m map[int]bool) bool {
+	n, st, _ := r.builder.S.EnumerateModels(r.vars, limit, func(m map[int]bool) bool {
 		v := bitvec.New(r.enc.M())
 		for i, x := range r.vars {
 			if m[x] {
@@ -261,7 +302,7 @@ func (r *Reconstructor) Enumerate(limit int) ([]core.Signal, bool) {
 		out = append(out, s)
 		return true
 	})
-	_ = n
+	r.obs.Counter(MetricCandidates).Add(int64(n))
 	return out, st == sat.Unsat
 }
 
@@ -306,11 +347,13 @@ func (r *Reconstructor) signalFromModel(model sat.Model) core.Signal {
 // but possibly a different subset than serial enumeration finds
 // first (each cube stops early at its own first limit models).
 func (r *Reconstructor) EnumerateParallel(limit, workers int) ([]core.Signal, bool) {
+	defer r.obs.StartSpan(SpanEnumerate).End()
 	models, st := sat.ParallelEnumerate(r.builder.S, r.vars, limit, sat.ParallelOptions{Workers: workers})
 	out := make([]core.Signal, 0, len(models))
 	for _, m := range models {
 		out = append(out, r.signalFromModel(m))
 	}
+	r.obs.Counter(MetricCandidates).Add(int64(len(out)))
 	return out, st == sat.Unsat
 }
 

@@ -93,7 +93,7 @@ func TestCorpusModelCount(t *testing.T) {
 	for i := range proj {
 		proj[i] = i + 1
 	}
-	got, exhausted := s.CountModels(proj, 0)
+	got, exhausted, _ := s.CountModels(proj, 0)
 	if !exhausted || got != want {
 		t.Fatalf("counted %d models (exhausted=%v), header says %d", got, exhausted, want)
 	}

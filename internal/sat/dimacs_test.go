@@ -96,8 +96,8 @@ func TestDimacsWriterRoundTrip(t *testing.T) {
 		for i := range proj {
 			proj[i] = i + 1
 		}
-		nParsed, ok1 := parsed.CountModels(proj, 0)
-		nDirect, ok2 := direct.CountModels(proj, 0)
+		nParsed, ok1, _ := parsed.CountModels(proj, 0)
+		nDirect, ok2, _ := direct.CountModels(proj, 0)
 		if !ok1 || !ok2 || nParsed != nDirect {
 			t.Fatalf("trial %d: parsed %d models, direct %d", trial, nParsed, nDirect)
 		}

@@ -1,5 +1,23 @@
 package sat
 
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors of the enumeration layer, in the style of the
+// core.ErrCorrupt family: callers classify an incomplete AllSAT with
+// errors.Is instead of guessing from a bare Unknown status.
+var (
+	// ErrBudget reports that MaxConflicts was exhausted mid-enumeration:
+	// the models delivered so far are valid but the space was NOT
+	// exhausted, and no completeness claim may be made.
+	ErrBudget = errors.New("sat: conflict budget exhausted")
+	// ErrInterrupted reports that Interrupt stopped the enumeration —
+	// the cooperative-cancellation analogue of ErrBudget.
+	ErrInterrupted = errors.New("sat: solve interrupted")
+)
+
 // EnumerateModels finds satisfying assignments one after another,
 // projecting each model onto the given variables (1-based). After each
 // model, a blocking clause over the projection is added, so successive
@@ -8,8 +26,12 @@ package sat
 // means unbounded), or when the formula becomes unsatisfiable.
 //
 // It returns the number of models delivered and the final status: Unsat
-// when the space was exhausted, Sat when stopped early by fn or limit,
-// Unknown when the conflict budget ran out.
+// when the space was exhausted, Sat when stopped early by fn or limit.
+// When the conflict budget ran out the status is Unknown and the error
+// wraps ErrBudget; when an Interrupt stopped the search the error
+// wraps ErrInterrupted. Both are the only non-nil error cases, so
+// "err == nil" is exactly the callers' old "enumeration accounted for"
+// condition — the silent Unknown return this API used to have is gone.
 //
 // The blocking clauses remain in the solver; enumeration is a
 // consuming operation.
@@ -17,14 +39,21 @@ package sat
 // The model map passed to fn is REUSED across iterations to avoid
 // per-model allocation churn: fn must copy any values it wants to keep
 // and must not retain the map beyond the call.
-func (s *Solver) EnumerateModels(projection []int, limit int, fn func(model map[int]bool) bool) (int, Status) {
+func (s *Solver) EnumerateModels(projection []int, limit int, fn func(model map[int]bool) bool) (int, Status, error) {
+	models := s.Obs.Counter(MetricEnumModels)
 	count := 0
 	model := make(map[int]bool, len(projection))
 	blocking := make([]int, 0, len(projection))
 	for {
 		st := s.Solve()
 		if st != Sat {
-			return count, st
+			if st == Unknown {
+				if s.Interrupted() {
+					return count, Unknown, fmt.Errorf("sat: enumeration stopped after %d models: %w", count, ErrInterrupted)
+				}
+				return count, Unknown, fmt.Errorf("sat: enumeration stopped after %d models: %w", count, ErrBudget)
+			}
+			return count, st, nil
 		}
 		clear(model)
 		blocking = blocking[:0]
@@ -38,23 +67,25 @@ func (s *Solver) EnumerateModels(projection []int, limit int, fn func(model map[
 			}
 		}
 		count++
+		models.Inc()
 		if !fn(model) {
-			return count, Sat
+			return count, Sat, nil
 		}
 		if limit > 0 && count >= limit {
-			return count, Sat
+			return count, Sat, nil
 		}
 		if err := s.AddClause(blocking...); err != nil {
 			// Empty projection: blocking impossible; treat as exhausted.
-			return count, Unsat
+			return count, Unsat, nil
 		}
 	}
 }
 
 // CountModels counts models projected onto the given variables, up to
 // max (<= 0 for unbounded). It returns the count and whether the space
-// was exhausted (true) or the cap was hit / budget ran out (false).
-func (s *Solver) CountModels(projection []int, max int) (int, bool) {
-	n, st := s.EnumerateModels(projection, max, func(map[int]bool) bool { return true })
-	return n, st == Unsat
+// was exhausted (true) or the cap was hit (false); an exhausted
+// conflict budget or interrupt surfaces as ErrBudget/ErrInterrupted.
+func (s *Solver) CountModels(projection []int, max int) (int, bool, error) {
+	n, st, err := s.EnumerateModels(projection, max, func(map[int]bool) bool { return true })
+	return n, st == Unsat, err
 }

@@ -1,0 +1,210 @@
+package sat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// guardedPHP builds a formula whose models are easy to find but whose
+// exhaustion proof is hard: variable 1 guards a pigeonhole instance
+// (g ∨ C for every PHP clause), variables 2..3 are free. Projected
+// onto {1,2,3} there are exactly 4 models (g true × free pair); after
+// blocking them, proving Unsat requires refuting PHP(holes+1, holes).
+func guardedPHP(holes int) *Solver {
+	pigeons := holes + 1
+	base := 3 // 1 = guard, 2..3 free
+	v := func(p, h int) int { return base + p*holes + h + 1 }
+	s := New(base + pigeons*holes)
+	for p := 0; p < pigeons; p++ {
+		lits := make([]int, 0, holes+1)
+		lits = append(lits, 1)
+		for h := 0; h < holes; h++ {
+			lits = append(lits, v(p, h))
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(1, -v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return s
+}
+
+func TestEnumerateBudgetTypedError(t *testing.T) {
+	proj := []int{1, 2, 3}
+
+	// With a tiny conflict budget the exhaustion proof cannot finish:
+	// the enumeration must surface ErrBudget, not silently stop.
+	s := guardedPHP(8)
+	s.MaxConflicts = 10
+	n, st, err := s.EnumerateModels(proj, 0, func(map[int]bool) bool { return true })
+	if st != Unknown {
+		t.Fatalf("status %v, want Unknown (budget ran out)", st)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if errors.Is(err, ErrInterrupted) {
+		t.Fatal("budget exhaustion misclassified as interrupt")
+	}
+	if n < 0 || n > 4 {
+		t.Fatalf("delivered %d models, want 0..4", n)
+	}
+
+	// Unbudgeted, the same instance enumerates completely: 4 models,
+	// Unsat, nil error — the "complete AllSAT" outcome.
+	s2 := guardedPHP(8)
+	n2, st2, err2 := s2.EnumerateModels(proj, 0, func(map[int]bool) bool { return true })
+	if n2 != 4 || st2 != Unsat || err2 != nil {
+		t.Fatalf("complete run: n=%d st=%v err=%v, want 4/Unsat/nil", n2, st2, err2)
+	}
+}
+
+func TestEnumerateInterruptTypedError(t *testing.T) {
+	s := New(3)
+	s.Interrupt()
+	n, st, err := s.EnumerateModels([]int{1, 2, 3}, 0, func(map[int]bool) bool { return true })
+	if n != 0 || st != Unknown {
+		t.Fatalf("n=%d st=%v, want 0/Unknown", n, st)
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if errors.Is(err, ErrBudget) {
+		t.Fatal("interrupt misclassified as budget exhaustion")
+	}
+}
+
+func TestCountModelsBudgetError(t *testing.T) {
+	s := guardedPHP(8)
+	s.MaxConflicts = 10
+	_, exhausted, err := s.CountModels([]int{1, 2, 3}, 0)
+	if exhausted {
+		t.Fatal("budgeted count claimed exhaustion")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// deterministicValues reads the DeterministicCounters out of a registry
+// snapshot in list order.
+func deterministicValues(r *obs.Registry) []int64 {
+	snap := r.Snapshot()
+	out := make([]int64, len(DeterministicCounters))
+	for i, name := range DeterministicCounters {
+		out[i] = snap.Counters[name]
+	}
+	return out
+}
+
+// TestSolveCountersDeterministicAcrossRuns locks in the cross-oracle
+// invariant: repeated serial runs of the same seeded instance publish
+// identical deterministic counters.
+func TestSolveCountersDeterministicAcrossRuns(t *testing.T) {
+	run := func() (*obs.Registry, int) {
+		rng := rand.New(rand.NewSource(77))
+		s := randomMixedInstance(rng, 20, 40, 8)
+		reg := obs.NewRegistry()
+		s.Obs = reg
+		n, _, _ := s.EnumerateModels(allVars(20), 0, func(map[int]bool) bool { return true })
+		return reg, n
+	}
+	reg1, n1 := run()
+	reg2, n2 := run()
+	if n1 != n2 {
+		t.Fatalf("model counts differ: %d vs %d", n1, n2)
+	}
+	v1, v2 := deterministicValues(reg1), deterministicValues(reg2)
+	for i, name := range DeterministicCounters {
+		if v1[i] != v2[i] {
+			t.Errorf("%s: run1 %d, run2 %d", name, v1[i], v2[i])
+		}
+	}
+	snap := reg1.Snapshot()
+	if snap.Counters[MetricSolveCalls] == 0 {
+		t.Error("no solve calls recorded")
+	}
+	if got := snap.Counters[MetricEnumModels]; got != int64(n1) {
+		t.Errorf("%s = %d, want %d", MetricEnumModels, got, n1)
+	}
+}
+
+// TestSerialVsParallel1WorkerCounters asserts the ISSUE acceptance
+// criterion: ParallelEnumerate with Workers=1 publishes exactly the
+// same deterministic counters as a plain serial enumeration of the
+// same instance, and the same models.
+func TestSerialVsParallel1WorkerCounters(t *testing.T) {
+	build := func() *Solver {
+		rng := rand.New(rand.NewSource(123))
+		return randomMixedInstance(rng, 18, 36, 6)
+	}
+	proj := allVars(18)
+
+	serialReg := obs.NewRegistry()
+	ss := build()
+	ss.Obs = serialReg
+	var serialModels []Model
+	_, serialSt, err := ss.EnumerateModels(proj, 0, func(map[int]bool) bool {
+		serialModels = append(serialModels, extractModel(ss, proj))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("serial enumeration: %v", err)
+	}
+	SortModels(serialModels)
+
+	parReg := obs.NewRegistry()
+	ps := build()
+	ps.Obs = parReg
+	parModels, parSt := ParallelEnumerate(ps, proj, 0, ParallelOptions{Workers: 1})
+
+	if serialSt != Unsat || parSt != Unsat {
+		t.Fatalf("statuses %v/%v, want Unsat/Unsat", serialSt, parSt)
+	}
+	if !modelsEqual(serialModels, parModels) {
+		t.Fatalf("model sets differ: %d vs %d", len(serialModels), len(parModels))
+	}
+	vs, vp := deterministicValues(serialReg), deterministicValues(parReg)
+	for i, name := range DeterministicCounters {
+		if vs[i] != vp[i] {
+			t.Errorf("%s: serial %d, parallel(1) %d", name, vs[i], vp[i])
+		}
+	}
+}
+
+func TestParallelDriversPublishCubeMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	s := randomMixedInstance(rng, 14, 28, 5)
+	reg := obs.NewRegistry()
+	s.Obs = reg
+	ParallelEnumerate(s, allVars(14), 0, ParallelOptions{Workers: 4})
+	snap := reg.Snapshot()
+	if snap.Counters[MetricCubes] == 0 {
+		t.Error("no cubes recorded for a 4-worker enumeration")
+	}
+	if snap.Histograms[SpanParallelEnum+".ns"].Count == 0 {
+		t.Error("parallel enumerate span not recorded")
+	}
+}
+
+// TestNilObsSolvesUnchanged guards the nil-registry fast path: a solver
+// without a registry behaves identically and records nothing.
+func TestNilObsSolvesUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomMixedInstance(rng, 16, 32, 5)
+	n, st, err := s.EnumerateModels(allVars(16), 0, func(map[int]bool) bool { return true })
+	if st == Unknown || err != nil {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	_ = n
+	if s.obsCache != nil {
+		t.Error("instrument cache built without a registry")
+	}
+}

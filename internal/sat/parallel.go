@@ -163,6 +163,7 @@ func extractModel(s *Solver, projection []int) Model {
 // The status is Unsat when the space was exhausted, Sat when the limit
 // truncated it, and Unknown when any cube ran out of conflict budget.
 func ParallelEnumerate(s *Solver, projection []int, limit int, opts ParallelOptions) ([]Model, Status) {
+	defer s.Obs.StartSpan(SpanParallelEnum).End()
 	// base is a private level-0 snapshot: workers clone it concurrently,
 	// and cloning a solver at decision level 0 only reads it.
 	base := s.Clone()
@@ -175,6 +176,7 @@ func ParallelEnumerate(s *Solver, projection []int, limit int, opts ParallelOpti
 		return models, st
 	}
 	nCubes := 1 << len(cubeVars)
+	s.Obs.Counter(MetricCubes).Add(int64(nCubes))
 	workers := opts.workers()
 	if workers > nCubes {
 		workers = nCubes
@@ -233,7 +235,9 @@ func ParallelEnumerate(s *Solver, projection []int, limit int, opts ParallelOpti
 // sorted Model values (the solver is consumed).
 func serialEnumerate(s *Solver, projection []int, limit int) ([]Model, Status) {
 	var out []Model
-	_, st := s.EnumerateModels(projection, limit, func(map[int]bool) bool {
+	// The budget/interrupt distinction is folded into the Unknown
+	// status here; the cube drivers only need exhausted-or-not.
+	_, st, _ := s.EnumerateModels(projection, limit, func(map[int]bool) bool {
 		out = append(out, extractModel(s, projection))
 		return true
 	})
@@ -253,6 +257,7 @@ func serialEnumerate(s *Solver, projection []int, limit int) ([]Model, Status) {
 // whole instance); Unknown means no model was found and at least one
 // cube exhausted its conflict budget.
 func ParallelFirst(s *Solver, projection []int, opts ParallelOptions) (Model, Status) {
+	defer s.Obs.StartSpan(SpanParallelFirst).End()
 	base := s.Clone()
 	cubeVars := cubePlan(base, projection, opts)
 	if len(cubeVars) == 0 {
@@ -263,6 +268,8 @@ func ParallelFirst(s *Solver, projection []int, opts ParallelOptions) (Model, St
 		return extractModel(base, projection), Sat
 	}
 	nCubes := 1 << len(cubeVars)
+	s.Obs.Counter(MetricCubes).Add(int64(nCubes))
+	interrupts := s.Obs.Counter(MetricCubeInterrupts)
 	workers := opts.workers()
 	if workers > nCubes {
 		workers = nCubes
@@ -311,6 +318,7 @@ func ParallelFirst(s *Solver, projection []int, opts ParallelOptions) (Model, St
 						for j, sib := range active {
 							if j > i {
 								sib.Interrupt()
+								interrupts.Inc()
 							}
 						}
 					}

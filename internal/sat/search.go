@@ -1,5 +1,7 @@
 package sat
 
+import "time"
+
 // conflictInfo carries the clause that falsified the trail, in a form
 // conflict analysis can consume uniformly for CNF and XOR conflicts.
 type conflictInfo struct {
@@ -372,7 +374,22 @@ func (s *Solver) detachClause(c *clause) {
 // Solve searches for a satisfying assignment. It returns Sat, Unsat, or
 // Unknown when MaxConflicts was exhausted. After Sat, read the model
 // with Model or Value before adding more clauses.
+//
+// When Obs is set, the call's Stats delta, latency and outcome are
+// published to the registry on exit; the search loop itself is not
+// instrumented, so the nil-Obs path costs exactly one pointer check.
 func (s *Solver) Solve() Status {
+	if s.Obs == nil {
+		return s.solve()
+	}
+	before := s.Stats
+	start := time.Now()
+	st := s.solve()
+	s.flushObs(before, time.Since(start), st)
+	return st
+}
+
+func (s *Solver) solve() Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -436,6 +453,7 @@ func (s *Solver) search(conflictLimit int64, budget *int64, maxLearnts *int64) (
 				c := &clause{lits: learnt, learned: true, lbd: s.computeLBD(learnt)}
 				s.learnts = append(s.learnts, c)
 				s.Stats.Learned++
+				s.Stats.LearnedLits += int64(len(learnt))
 				s.attachClause(c)
 				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], reason{kind: reasonClause, cls: c})

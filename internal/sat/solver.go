@@ -20,6 +20,8 @@ package sat
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Status is the outcome of a Solve call.
@@ -110,7 +112,10 @@ type watcher struct {
 	blocker lit
 }
 
-// Stats aggregates solver counters across Solve calls.
+// Stats aggregates solver counters across Solve calls. Every field is
+// deterministic for a deterministic search — no timing, no scheduling
+// — which is what lets the test suite assert counter equality across
+// repeated runs and across the serial vs cloned-worker drivers.
 type Stats struct {
 	Decisions     int64
 	Propagations  int64
@@ -118,7 +123,10 @@ type Stats struct {
 	Restarts      int64
 	Learned       int64
 	LearnedPruned int64
-	XorProps      int64
+	// LearnedLits sums the lengths of learned clauses, so the mean
+	// learned-clause length is LearnedLits / Learned.
+	LearnedLits int64
+	XorProps    int64
 }
 
 // Solver is a CDCL SAT solver with XOR clauses. The zero value is not
@@ -163,6 +171,17 @@ type Solver struct {
 	MaxConflicts int64
 
 	Stats Stats
+
+	// Obs, when non-nil, receives the solver's counters and latencies:
+	// each Solve call publishes its Stats delta and duration into the
+	// registry on exit, so the hot search loop itself never touches an
+	// instrument and the nil (default) path costs one pointer check per
+	// Solve. Clones share the registry, which aggregates the cube-split
+	// workers' counters atomically.
+	Obs *obs.Registry
+
+	// obsCache holds resolved instruments for Obs (see instruments).
+	obsCache *obsInstruments
 }
 
 // Interrupt asks a running Solve (or model enumeration) to stop at the
@@ -445,6 +464,9 @@ func (s *Solver) Clone() *Solver {
 		claInc:       s.claInc,
 		ok:           s.ok,
 		MaxConflicts: s.MaxConflicts,
+		// The clone records into the same registry (atomically shared);
+		// its instrument cache is rebuilt lazily on first flush.
+		Obs: s.Obs,
 	}
 	n.assigns = append([]int8(nil), s.assigns...)
 	n.level = append([]int32(nil), s.level...)

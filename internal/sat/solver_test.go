@@ -196,7 +196,7 @@ func TestEnumerateModelsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := map[[3]bool]bool{}
-	n, st := s.EnumerateModels([]int{1, 2, 3}, 0, func(m map[int]bool) bool {
+	n, st, err := s.EnumerateModels([]int{1, 2, 3}, 0, func(m map[int]bool) bool {
 		key := [3]bool{m[1], m[2], m[3]}
 		if seen[key] {
 			t.Fatal("duplicate model")
@@ -210,21 +210,21 @@ func TestEnumerateModelsExact(t *testing.T) {
 		}
 		return true
 	})
-	if n != 4 || st != Unsat {
-		t.Fatalf("n=%d st=%v", n, st)
+	if n != 4 || st != Unsat || err != nil {
+		t.Fatalf("n=%d st=%v err=%v", n, st, err)
 	}
 }
 
 func TestEnumerateEarlyStopAndLimit(t *testing.T) {
 	s := New(4) // free variables: 16 models
-	n, st := s.EnumerateModels([]int{1, 2, 3, 4}, 5, func(map[int]bool) bool { return true })
-	if n != 5 || st != Sat {
-		t.Fatalf("limit: n=%d st=%v", n, st)
+	n, st, err := s.EnumerateModels([]int{1, 2, 3, 4}, 5, func(map[int]bool) bool { return true })
+	if n != 5 || st != Sat || err != nil {
+		t.Fatalf("limit: n=%d st=%v err=%v", n, st, err)
 	}
 	s2 := New(4)
-	n2, st2 := s2.EnumerateModels([]int{1, 2, 3, 4}, 0, func(map[int]bool) bool { return false })
-	if n2 != 1 || st2 != Sat {
-		t.Fatalf("early stop: n=%d st=%v", n2, st2)
+	n2, st2, err2 := s2.EnumerateModels([]int{1, 2, 3, 4}, 0, func(map[int]bool) bool { return false })
+	if n2 != 1 || st2 != Sat || err2 != nil {
+		t.Fatalf("early stop: n=%d st=%v err=%v", n2, st2, err2)
 	}
 }
 
@@ -374,7 +374,7 @@ func TestRandomFormulasAgainstBruteForce(t *testing.T) {
 		for i := range proj {
 			proj[i] = i + 1
 		}
-		got, exhausted := s.CountModels(proj, 0)
+		got, exhausted, _ := s.CountModels(proj, 0)
 		if !exhausted {
 			t.Fatalf("trial %d: enumeration not exhausted", trial)
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/hw"
 	"repro/internal/leon3"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 	"repro/internal/sram"
 	"repro/internal/trace"
@@ -136,7 +137,15 @@ func (s *System) Run(n int64) { s.Sim.Run(n) }
 
 // Store packages the agg-log output as a timeprint store.
 func (s *System) Store(name string) (*trace.Store, error) {
+	return s.StoreObserved(name, nil)
+}
+
+// StoreObserved is Store with a metrics registry attached before the
+// entries are appended, so the append counters are attributed to the
+// run that produced them (nil behaves exactly like Store).
+func (s *System) StoreObserved(name string, r *obs.Registry) (*trace.Store, error) {
 	st := trace.NewStore(name, s.cfg.ClockHz, s.cfg.Enc.M(), s.cfg.Enc.B())
+	st.Obs = r
 	if err := st.Append(s.AggLog.Entries()...); err != nil {
 		return nil, err
 	}

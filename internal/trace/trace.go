@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 )
 
 // Typed sentinel errors of the trace layer. Entry-shape violations wrap
@@ -26,6 +27,18 @@ var (
 	// ErrIncompatible reports two stores whose trace parameters (m, b,
 	// clock, epoch) do not admit a trace-cycle-aligned comparison.
 	ErrIncompatible = errors.New("trace: incompatible stores")
+)
+
+// Metric names published by the trace layer (through Store.Obs).
+const (
+	// MetricEntriesAppended counts log entries accepted into stores.
+	MetricEntriesAppended = "trace.entries.appended"
+	// MetricCompareCycles counts trace-cycles diffed by Compare;
+	// MetricCompareKMismatch and MetricCompareTPMismatch split the
+	// mismatches by signature (change-count vs timeprint).
+	MetricCompareCycles     = "trace.compare.cycles"
+	MetricCompareKMismatch  = "trace.compare.k_mismatch"
+	MetricCompareTPMismatch = "trace.compare.tp_mismatch"
 )
 
 // Recorder captures the change instants of a single wire, cycle by
@@ -101,6 +114,10 @@ type Store struct {
 	// Epoch is the absolute time (seconds) of clock-cycle 0.
 	Epoch float64
 
+	// Obs, when non-nil, receives the store's counters (entries
+	// appended, comparison mismatches). Nil is fully supported.
+	Obs *obs.Registry
+
 	entries []core.LogEntry
 }
 
@@ -120,6 +137,7 @@ func (s *Store) Append(entries ...core.LogEntry) error {
 		}
 		s.entries = append(s.entries, e)
 	}
+	s.Obs.Counter(MetricEntriesAppended).Add(int64(len(entries)))
 	return nil
 }
 
@@ -221,13 +239,25 @@ func Compare(a, b *Store) ([]Mismatch, error) {
 		n = len(b.entries)
 	}
 	var out []Mismatch
+	var kDiff, tpDiff int64
 	for i := 0; i < n; i++ {
 		ea, eb := a.entries[i], b.entries[i]
 		mm := Mismatch{TraceCycle: i, KDiffers: ea.K != eb.K, TPDiffers: ea.K == eb.K && !ea.TP.Equal(eb.TP)}
+		if mm.KDiffers {
+			kDiff++
+		}
+		if mm.TPDiffers {
+			tpDiff++
+		}
 		if mm.KDiffers || mm.TPDiffers {
 			out = append(out, mm)
 		}
 	}
+	// Attribute comparison outcomes to the left-hand store's registry
+	// (the hardware side in the Section 5.2.2 usage).
+	a.Obs.Counter(MetricCompareCycles).Add(int64(n))
+	a.Obs.Counter(MetricCompareKMismatch).Add(kDiff)
+	a.Obs.Counter(MetricCompareTPMismatch).Add(tpDiff)
 	return out, nil
 }
 
