@@ -7,7 +7,7 @@ BENCH_GUARD    ?= BenchmarkPresolveOnOff|BenchmarkParallelWorkers
 BENCH_BASELINE ?= BENCH_PR3.json
 BENCH_FLAGS     = -run='^$$' -bench='$(BENCH_GUARD)' -count=5 -benchtime=1x .
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord metrics-smoke
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord metrics-smoke timeprintd service-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -55,6 +55,18 @@ benchrecord:
 # selfcheck run dumps a -metrics snapshot, metricscheck validates the
 # JSON schema and the key instrument names, and `timeprint stats`
 # renders it. CI runs this as its own job.
+# timeprintd builds the streaming reconstruction daemon; service-smoke
+# runs its self-contained end-to-end smoke test (wire ingest, solve,
+# cache hit, count, compare, /metrics counter contract) plus the
+# service package's integration tests under the race detector. CI runs
+# service-smoke as its own job.
+timeprintd:
+	$(GO) build -o timeprintd ./cmd/timeprintd
+
+service-smoke:
+	$(GO) run ./cmd/timeprintd -smoke
+	$(GO) test -race -count=1 ./internal/service/
+
 metrics-smoke:
 	$(GO) run ./cmd/timeprint selfcheck -cases 40 -metrics /tmp/timeprint-metrics.json
 	$(GO) run ./cmd/metricscheck -in /tmp/timeprint-metrics.json \

@@ -1,0 +1,258 @@
+// Command timeprintd is the streaming reconstruction daemon: it
+// accepts timeprint logs — core.WriteLog wire format or JSON job specs
+// — over HTTP and answers signal-reconstruction queries with the
+// internal/reconstruct engine (see internal/service for the endpoint
+// and serving semantics).
+//
+//	timeprintd -addr :8080 -httpobs :6060
+//	timeprintd -smoke          # self-contained end-to-end smoke test
+//
+// The daemon sheds load with 429 once its admission queue fills,
+// enforces per-request deadlines by interrupting the SAT solver
+// cooperatively, coalesces concurrent identical requests onto a single
+// solve, and drains gracefully on SIGTERM/SIGINT: in-flight requests
+// get -drain to finish before connections are closed hard.
+//
+// -httpobs additionally serves the live metrics registry, expvar and
+// net/http/pprof on a second address via obs.Serve; the same /metrics
+// and /metrics.txt snapshots are always available on the service
+// address itself.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("timeprintd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "service listen address")
+	obsAddr := fs.String("httpobs", "", "also serve expvar, pprof and live metrics on this address")
+	queue := fs.Int("queue", 64, "admission queue depth before load is shed with 429")
+	workers := fs.Int("workers", 0, "concurrent SAT solves (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 1024, "LRU result-cache capacity (entries)")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-request solve deadline")
+	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	maxConflicts := fs.Int64("max-conflicts", 0, "server-side solver conflict budget per solve (0 = unlimited)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget after SIGTERM")
+	smoke := fs.Bool("smoke", false, "run an end-to-end smoke test against an in-process server and exit")
+	_ = fs.Parse(os.Args[1:])
+
+	reg := obs.NewRegistry()
+	core.SetObserver(reg)
+	defer core.SetObserver(nil)
+	cfg := service.Config{
+		Addr:           *addr,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxConflicts:   *maxConflicts,
+		DrainTimeout:   *drain,
+		Obs:            reg,
+	}
+
+	if *smoke {
+		cfg.Addr = "127.0.0.1:0"
+		if err := runSmoke(cfg, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	srv := service.New(cfg)
+	bound, err := srv.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timeprintd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "timeprintd: serving /v1/{reconstruct,count,compare} on http://%s\n", bound)
+	if *obsAddr != "" {
+		oa, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeprintd:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "timeprintd: observability on http://%s (/debug/vars /debug/pprof /metrics)\n", oa)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintf(os.Stderr, "timeprintd: signal received, draining (budget %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "timeprintd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "timeprintd: drained cleanly")
+}
+
+// runSmoke exercises the daemon end to end, in-process but over real
+// HTTP: it logs a known signal, POSTs the wire log twice, checks the
+// reconstruction contains the true signal and that the repeat was a
+// cache hit, runs a count and a compare, and validates the cache
+// counters through the obs.Serve /metrics endpoint. This is what
+// `make service-smoke` and the service-smoke CI job run.
+func runSmoke(cfg service.Config, reg *obs.Registry) error {
+	const m, b = 64, 13
+	enc, err := encoding.Incremental(m, b, 4)
+	if err != nil {
+		return err
+	}
+	truth := core.SignalFromChanges(m, 5, 6, 20)
+	entry := core.Log(enc, truth)
+	var wire bytes.Buffer
+	if err := core.WriteLog(&wire, m, b, []core.LogEntry{entry}); err != nil {
+		return err
+	}
+
+	srv := service.New(cfg)
+	bound, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + bound.String()
+
+	// The observability side: the same registry through obs.Serve.
+	obsBound, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		return err
+	}
+
+	post := func(url, contentType string, body []byte) (map[string]any, error) {
+		resp, err := http.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("%s: bad JSON: %v", url, err)
+		}
+		return out, nil
+	}
+
+	// Reconstruct the wire log twice: the first solves, the second must
+	// be answered from the LRU.
+	target := base + "/v1/reconstruct?scheme=incremental&depth=4&limit=-1"
+	first, err := post(target, "application/octet-stream", wire.Bytes())
+	if err != nil {
+		return err
+	}
+	results := first["results"].([]any)
+	if len(results) != 1 {
+		return fmt.Errorf("want 1 result, got %d", len(results))
+	}
+	r0 := results[0].(map[string]any)
+	found := false
+	for _, c := range r0["candidates"].([]any) {
+		if c.(string) == truth.String() {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("true signal %s not among candidates %v", truth, r0["candidates"])
+	}
+	if ex, _ := r0["exhausted"].(bool); !ex {
+		return fmt.Errorf("enumeration not exhausted: %v", r0)
+	}
+	second, err := post(target, "application/octet-stream", wire.Bytes())
+	if err != nil {
+		return err
+	}
+	r0 = second["results"].([]any)[0].(map[string]any)
+	if cached, _ := r0["cached"].(bool); !cached {
+		return fmt.Errorf("repeat request was not served from cache: %v", r0)
+	}
+
+	// Count through the JSON job-spec path.
+	countJob, _ := json.Marshal(map[string]any{
+		"encoding": map[string]any{"scheme": "incremental", "m": m, "b": b},
+		"tp":       entry.TP.String(),
+		"k":        entry.K,
+		"limit":    -1,
+	})
+	count, err := post(base+"/v1/count", "application/json", countJob)
+	if err != nil {
+		return err
+	}
+	c0 := count["results"].([]any)[0].(map[string]any)
+	if n, _ := c0["count"].(float64); n < 1 {
+		return fmt.Errorf("count returned %v candidates", c0["count"])
+	}
+
+	// Compare the log against a corrupted sibling; the flipped
+	// trace-cycle must be localized.
+	bad := core.Log(enc, core.SignalFromChanges(m, 5, 6, 21))
+	var badWire bytes.Buffer
+	if err := core.WriteLog(&badWire, m, b, []core.LogEntry{bad}); err != nil {
+		return err
+	}
+	compareJob, _ := json.Marshal(map[string]any{
+		"encoding": map[string]any{"scheme": "incremental", "m": m, "b": b, "clock_hz": 5e6},
+		"ref":      wire.Bytes(),
+		"obs":      badWire.Bytes(),
+	})
+	cmp, err := post(base+"/v1/compare", "application/json", compareJob)
+	if err != nil {
+		return err
+	}
+	if fm, _ := cmp["first_mismatch"].(float64); fm != 0 {
+		return fmt.Errorf("compare localized mismatch at %v, want 0", cmp["first_mismatch"])
+	}
+
+	// Counter contract, read back through the obs.Serve endpoint.
+	resp, err := http.Get("http://" + obsBound.String() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	snap, err := obs.ParseSnapshot(resp.Body)
+	if err != nil {
+		return err
+	}
+	for counter, want := range map[string]int64{
+		service.MetricCacheHits:      1,
+		service.MetricCacheMisses:    2, // reconstruct miss + count miss
+		service.MetricSolves:         2,
+		service.MetricReqReconstruct: 2,
+		service.MetricReqCount:       1,
+		service.MetricReqCompare:     1,
+	} {
+		if got := snap.Counters[counter]; got != want {
+			return fmt.Errorf("counter %s = %d, want %d (snapshot %v)", counter, got, want, snap.Counters)
+		}
+	}
+	if snap.Counters["sat.solve.calls"] == 0 {
+		return fmt.Errorf("solver instrumentation missing from /metrics")
+	}
+	return nil
+}

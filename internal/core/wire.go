@@ -15,6 +15,15 @@ import (
 // trace-cycle — TP first (LSB to MSB), then k — packed back-to-back
 // with no per-entry padding. This constant-rate format is the point of
 // the method: its size never depends on signal activity.
+//
+// Framing is strict in both directions: the final payload byte is
+// zero-padded to a byte boundary by WriteLog, and ReadLog rejects a
+// log whose pad bits are nonzero or that carries any bytes after the
+// last entry (both ErrCorrupt). A log is therefore a self-delimiting
+// unit — corruption anywhere in the stream, including the pad region
+// that carries no payload, is detected rather than silently ignored,
+// which is what the diffcheck corruption-localization guarantees rely
+// on.
 
 const wireMagic = 0x54505231 // "TPR1"
 
@@ -22,10 +31,16 @@ const wireMagic = 0x54505231 // "TPR1"
 // timeprint width b.
 func WriteLog(w io.Writer, m, b int, entries []LogEntry) error {
 	cw := &countingWriter{w: w}
+	serialized := 0
+	// The observer sees only what actually happened: cw.n is bytes that
+	// reached the underlying writer (a failed or early-returning write
+	// flushes nothing extra), and serialized counts entries that passed
+	// validation and were packed — not the caller's slice length, which
+	// over-reports when an entry is rejected with ErrWidth/ErrKRange.
 	defer func() {
 		r := Observer()
 		r.Counter(MetricWireBytesOut).Add(cw.n)
-		r.Counter(MetricWireEntriesOut).Add(int64(len(entries)))
+		r.Counter(MetricWireEntriesOut).Add(int64(serialized))
 	}()
 	bw := bufio.NewWriter(cw)
 	head := []any{uint32(wireMagic), uint32(m), uint32(b), uint32(len(entries))}
@@ -49,6 +64,7 @@ func WriteLog(w io.Writer, m, b int, entries []LogEntry) error {
 		for j := 0; j < kb; j++ {
 			bs.writeBit(e.K&(1<<uint(j)) != 0)
 		}
+		serialized++
 	}
 	if err := bs.flush(); err != nil {
 		return err
@@ -109,6 +125,20 @@ func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
 		}
 		entries = append(entries, LogEntry{TP: tp, K: k})
 	}
+	// Strict framing (see the package comment): the writer zero-pads the
+	// final payload byte, so any set bit in the pad region is corruption
+	// — without this check a flipped pad bit would be the one undetectable
+	// corruption in the whole stream.
+	if pad := bs.padBits(); pad != 0 {
+		return 0, 0, nil, fmt.Errorf("core: nonzero pad bits %#x in final payload byte: %w", pad, ErrCorrupt)
+	}
+	// A log is self-delimiting: exactly the header plus PayloadBits of
+	// payload. Anything after the last entry is garbage (a truncated
+	// second header, duplicated tail, line noise) and is rejected rather
+	// than silently ignored, with the byte count for localization.
+	if trailing, _ := io.Copy(io.Discard, br); trailing > 0 {
+		return 0, 0, nil, fmt.Errorf("core: %d trailing byte(s) after the final entry: %w", trailing, ErrCorrupt)
+	}
 	return m, b, entries, nil
 }
 
@@ -167,3 +197,8 @@ func (b *bitReader) readBit() (bool, error) {
 	b.n--
 	return v, nil
 }
+
+// padBits returns the still-unread bits of the current byte — after the
+// last entry these are exactly the writer's pad bits, already shifted
+// down to the low b.n positions. Zero means a clean pad (or none).
+func (b *bitReader) padBits() byte { return b.cur }

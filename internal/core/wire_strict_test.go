@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/obs"
+)
+
+// The k = m boundary at a power-of-two m needs the extra counter bit:
+// KBits(8) = bits.Len(8) = 4, not ceil(log2(8)) = 3. A 3-bit counter
+// would alias k=8 to k=0 on the wire — the exact regression this pins.
+func TestWireRoundTripKEqualsMBoundary(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16, 64} {
+		b := 5
+		tp := bitvec.FromUint(0b10110&((1<<5)-1), b)
+		entries := []LogEntry{
+			{TP: tp.Clone(), K: m},     // every cycle changed
+			{TP: bitvec.New(b), K: 0},  // all quiet
+			{TP: tp.Clone(), K: m / 2}, // interior value
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, m, b, entries); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		gm, gb, got, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if gm != m || gb != b || len(got) != len(entries) {
+			t.Fatalf("m=%d: header (%d, %d, %d)", m, gm, gb, len(got))
+		}
+		for i, e := range got {
+			if !e.Equal(entries[i]) {
+				t.Fatalf("m=%d entry %d: %v != %v (k=m aliased?)", m, i, e, entries[i])
+			}
+		}
+	}
+}
+
+// A bit flipped in the zero pad of the final payload byte must be
+// detected: before the strict pad rule this was the one corruption the
+// wire format silently accepted, weakening diffcheck's
+// corruption-localization guarantee.
+func TestWireRejectsNonzeroPadBits(t *testing.T) {
+	// m=8 (KBits 4), b=5: one entry is 9 payload bits, so the second
+	// payload byte holds 1 valid bit and 7 pad bits.
+	const m, b = 8, 5
+	entries := []LogEntry{{TP: bitvec.FromUint(0b10101, b), K: 3}}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, m, b, entries); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, _, err := ReadLog(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("clean log rejected: %v", err)
+	}
+	for bit := 1; bit < 8; bit++ { // every pad position of the last byte
+		rot := append([]byte(nil), raw...)
+		rot[len(rot)-1] ^= 1 << bit
+		_, _, _, err := ReadLog(bytes.NewReader(rot))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("pad bit %d flip: err = %v, want ErrCorrupt", bit, err)
+		}
+		if !strings.Contains(err.Error(), "pad") {
+			t.Fatalf("pad bit %d flip: error %q does not name the pad", bit, err)
+		}
+	}
+}
+
+// Bytes after the final entry are framing garbage; ReadLog must reject
+// them and report how many there were.
+func TestWireRejectsTrailingGarbage(t *testing.T) {
+	const m, b = 16, 8
+	entries := []LogEntry{{TP: bitvec.FromUint(0xA5, b), K: 2}}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, m, b, entries); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0xde, 0xad, 0xbe})
+	_, _, _, err := ReadLog(&buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "3 trailing") {
+		t.Fatalf("error %q does not report the trailing-byte count", err)
+	}
+}
+
+// The entries-out counter must reflect entries actually serialized:
+// a write rejected at entry i counts i, not len(entries).
+func TestWriteLogCountsOnlySerializedEntries(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetObserver(reg)
+	defer SetObserver(nil)
+	entries := []LogEntry{
+		{TP: bitvec.New(8), K: 1},
+		{TP: bitvec.New(8), K: 2},
+		{TP: bitvec.New(9), K: 0}, // wrong width: rejected here
+		{TP: bitvec.New(8), K: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, 16, 8, entries); !errors.Is(err, ErrWidth) {
+		t.Fatalf("err = %v, want ErrWidth", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricWireEntriesOut]; got != 2 {
+		t.Fatalf("%s = %d after failed write, want 2 (serialized prefix only)", MetricWireEntriesOut, got)
+	}
+	// The buffered writer never flushed, so no payload bytes reached
+	// the sink either; the byte counter must agree with reality.
+	if got := snap.Counters[MetricWireBytesOut]; got != int64(buf.Len()) {
+		t.Fatalf("%s = %d, want %d actually flushed", MetricWireBytesOut, got, buf.Len())
+	}
+}

@@ -24,12 +24,29 @@ func runPool(n, workers int, job func(i int)) {
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	// A panicking job must not kill its worker: with the unbuffered jobs
+	// channel, every dead worker is a submitter slot lost, and once all
+	// workers are gone the send below blocks forever. Each job runs under
+	// a recover; the first captured panic is re-raised on the calling
+	// goroutine after the pool has fully drained, preserving the
+	// fail-loud contract of the serial path without the deadlock.
+	var (
+		panicOnce  sync.Once
+		firstPanic any
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				job(i)
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panicOnce.Do(func() { firstPanic = p })
+						}
+					}()
+					job(i)
+				}()
 			}
 		}()
 	}
@@ -38,6 +55,10 @@ func runPool(n, workers int, job func(i int)) {
 	}
 	close(jobs)
 	wg.Wait()
+	// wg.Wait orders every worker's panicOnce.Do before this read.
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }
 
 // Pool metric names: <name>.queue is the undispatched-job depth,
@@ -61,6 +82,15 @@ func runPoolMetered(n, workers int, r *obs.Registry, name string, job func(i int
 	busy := r.Gauge(name + PoolBusySuffix)
 	jobs := r.Counter(name + PoolJobsSuffix)
 	queue.Set(int64(n))
+	// On the serial path a job panic unwinds through this frame with
+	// jobs still undispatched; zero the transient gauges so a recovering
+	// caller is not left staring at a permanently nonzero queue depth.
+	// On a normal return both are already zero and the Sets are no-ops
+	// (Set only bumps the high-water mark upward).
+	defer func() {
+		queue.Set(0)
+		busy.Set(0)
+	}()
 	runPool(n, workers, func(i int) {
 		queue.Add(-1)
 		busy.Add(1)

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // runPool edge cases: n=0 must not deadlock or run any job, workers > n
@@ -50,5 +53,78 @@ func TestRunPoolSerialOrder(t *testing.T) {
 		if v != i {
 			t.Fatalf("serial order %v", order)
 		}
+	}
+}
+
+// A panicking job used to kill its worker goroutine; with enough
+// panics every worker died and the submitter blocked forever on the
+// unbuffered jobs channel. The pool must instead run every job, and
+// re-raise the first panic on the calling goroutine once drained.
+func TestRunPoolPanicDoesNotDeadlock(t *testing.T) {
+	const n, workers = 64, 4
+	var ran int64
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("pool swallowed the job panic")
+		}
+		if s, ok := p.(string); !ok || s != "job 0 exploded" {
+			t.Fatalf("re-raised panic = %v, want the first job panic", p)
+		}
+		if got := atomic.LoadInt64(&ran); got != n {
+			t.Fatalf("%d jobs ran, want all %d despite panics", got, n)
+		}
+	}()
+	runPool(n, workers, func(i int) {
+		atomic.AddInt64(&ran, 1)
+		// Every 8th job panics — more panicking jobs than workers, the
+		// exact shape that used to starve the submitter.
+		if i%8 == 0 {
+			panic(fmt.Sprintf("job %d exploded", i))
+		}
+	})
+}
+
+// Serial-path panics unwind through runPoolMetered with jobs still
+// undispatched; the transient queue/busy gauges must be zeroed rather
+// than left stuck at the abandoned depth.
+func TestRunPoolMeteredPanicResetsGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		runPoolMetered(10, 1, reg, "test.panicpool", func(i int) {
+			if i == 2 {
+				panic("boom")
+			}
+		})
+	}()
+	snap := reg.Snapshot()
+	if got := snap.Gauges["test.panicpool"+PoolQueueSuffix].Value; got != 0 {
+		t.Fatalf("queue gauge leaked at %d after panic", got)
+	}
+	if got := snap.Gauges["test.panicpool"+PoolBusySuffix].Value; got != 0 {
+		t.Fatalf("busy gauge leaked at %d after panic", got)
+	}
+	// The parallel path drains every job even when some panic, so the
+	// jobs counter must account for all of them.
+	reg2 := obs.NewRegistry()
+	func() {
+		defer func() { _ = recover() }()
+		runPoolMetered(20, 3, reg2, "test.panicpool", func(i int) {
+			if i%5 == 0 {
+				panic("boom")
+			}
+		})
+	}()
+	snap = reg2.Snapshot()
+	if got := snap.Counters["test.panicpool"+PoolJobsSuffix]; got != 20 {
+		t.Fatalf("jobs counter %d after parallel panic, want 20", got)
+	}
+	if got := snap.Gauges["test.panicpool"+PoolQueueSuffix].Value; got != 0 {
+		t.Fatalf("parallel queue gauge leaked at %d", got)
 	}
 }

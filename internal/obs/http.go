@@ -32,6 +32,23 @@ func Publish(name string, r *Registry) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// Handler returns a mux-mountable http.Handler exposing the registry's
+// live snapshot at <prefix>/metrics (indented JSON) and
+// <prefix>/metrics.txt (stable text). Long-running services mount it on
+// their own mux; Serve uses it for the process-global endpoint.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.DumpJSON(w)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, r.Snapshot().Text())
+	})
+	return mux
+}
+
 // Serve starts an HTTP server on addr exposing live observability for
 // long sweeps:
 //
@@ -48,14 +65,9 @@ func Serve(addr string, r *Registry) (net.Addr, error) {
 	Publish("timeprints", r)
 	mux := http.DefaultServeMux // pprof + expvar already registered here
 	metricsOnce.Do(func() {
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = r.DumpJSON(w)
-		})
-		http.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, r.Snapshot().Text())
-		})
+		h := Handler(r)
+		http.Handle("/metrics", h)
+		http.Handle("/metrics.txt", h)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -286,9 +286,27 @@ func (r *Reconstructor) model() core.Signal {
 // Each signal is verified against the log entry before being returned;
 // a mismatch indicates a solver bug and panics.
 func (r *Reconstructor) Enumerate(limit int) ([]core.Signal, bool) {
+	out, exhausted, _ := r.enumerate(limit)
+	return out, exhausted
+}
+
+// EnumerateWithin is Enumerate with cooperative cancellation: closing
+// done (typically a context.Done() channel) interrupts the underlying
+// solver at its next conflict or decision. The error distinguishes the
+// incomplete outcomes a server must tell apart — it wraps
+// sat.ErrInterrupted when done fired and sat.ErrBudget when
+// Options.MaxConflicts ran out; in both cases the signals found so far
+// are valid but exhausted is false and no completeness claim holds.
+func (r *Reconstructor) EnumerateWithin(done <-chan struct{}, limit int) ([]core.Signal, bool, error) {
+	stop := r.builder.S.InterruptOnDone(done)
+	defer stop()
+	return r.enumerate(limit)
+}
+
+func (r *Reconstructor) enumerate(limit int) ([]core.Signal, bool, error) {
 	defer r.obs.StartSpan(SpanEnumerate).End()
 	var out []core.Signal
-	n, st, _ := r.builder.S.EnumerateModels(r.vars, limit, func(m map[int]bool) bool {
+	n, st, err := r.builder.S.EnumerateModels(r.vars, limit, func(m map[int]bool) bool {
 		v := bitvec.New(r.enc.M())
 		for i, x := range r.vars {
 			if m[x] {
@@ -303,7 +321,7 @@ func (r *Reconstructor) Enumerate(limit int) ([]core.Signal, bool) {
 		return true
 	})
 	r.obs.Counter(MetricCandidates).Add(int64(n))
-	return out, st == sat.Unsat
+	return out, st == sat.Unsat, err
 }
 
 // Check reports whether any candidate signal exists under the current

@@ -1,0 +1,45 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInterruptOnDoneFires(t *testing.T) {
+	s := New(4)
+	done := make(chan struct{})
+	stop := s.InterruptOnDone(done)
+	if s.Interrupted() {
+		t.Fatal("interrupted before done closed")
+	}
+	close(done)
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Interrupted() {
+		if time.Now().After(deadline) {
+			t.Fatal("interrupt never fired after done closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop() // must not hang or panic after the done branch won
+}
+
+func TestInterruptOnDoneStopDetaches(t *testing.T) {
+	s := New(4)
+	done := make(chan struct{})
+	stop := s.InterruptOnDone(done)
+	stop() // watcher exits via quit; a later done close must not interrupt
+	close(done)
+	time.Sleep(10 * time.Millisecond)
+	if s.Interrupted() {
+		t.Fatal("interrupt fired after stop detached the watcher")
+	}
+}
+
+func TestInterruptOnDoneNilChannel(t *testing.T) {
+	s := New(4)
+	stop := s.InterruptOnDone(nil)
+	stop() // no-op watcher
+	if s.Interrupted() {
+		t.Fatal("nil done interrupted the solver")
+	}
+}

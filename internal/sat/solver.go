@@ -194,6 +194,36 @@ func (s *Solver) Interrupt() { s.stop.Store(true) }
 // ClearInterrupt re-arms a solver whose Interrupt was triggered.
 func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
 
+// InterruptOnDone arms an asynchronous watcher that calls Interrupt
+// when done is closed (or receives), so a deadline or cancellation
+// signal — typically a context.Done() channel — propagates into the
+// search loop cooperatively. The returned stop function disarms the
+// watcher and waits for it to exit; it must be called exactly once,
+// normally via defer around the Solve/EnumerateModels call. A nil done
+// channel arms nothing and returns a no-op stop.
+//
+// If done fires, the interrupt flag stays set (Solve keeps returning
+// Unknown) until ClearInterrupt, matching Interrupt's own contract.
+func (s *Solver) InterruptOnDone(done <-chan struct{}) (stop func()) {
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-done:
+			s.Interrupt()
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		<-exited
+	}
+}
+
 // Interrupted reports whether an interrupt is pending, distinguishing
 // an Unknown caused by Interrupt from one caused by an exhausted
 // conflict budget.

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// solveResult is the cached/coalesced unit of work: the outcome of one
+// reconstruction (or count) solve for a canonical (encoding, entry,
+// properties, limit) key.
+type solveResult struct {
+	// Candidates are the change-maps found, rendered LSB-first
+	// (clock-cycle 0 leftmost) like the CLI prints them.
+	Candidates []string `json:"candidates,omitempty"`
+	// Changes lists each candidate's change cycles, aligned with
+	// Candidates. Omitted for count-only queries.
+	Changes [][]int `json:"changes,omitempty"`
+	// Count is the number of candidates found (== len(Candidates) for
+	// reconstruct queries; the only payload for count queries).
+	Count int `json:"count"`
+	// Exhausted reports that the candidate space was fully enumerated:
+	// the result is the complete answer, not a limit-bounded prefix.
+	Exhausted bool `json:"exhausted"`
+}
+
+// lruCache is a mutex-guarded LRU of solveResults keyed by canonical
+// request hashes. Entries are immutable once inserted, so a hit can be
+// returned without copying.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	evicted *obs.Counter
+}
+
+type lruEntry struct {
+	key string
+	res solveResult
+}
+
+func newLRUCache(max int, r *obs.Registry) *lruCache {
+	return &lruCache{
+		max:     max,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, max),
+		hits:    r.Counter(MetricCacheHits),
+		misses:  r.Counter(MetricCacheMisses),
+		evicted: r.Counter(MetricCacheEvicted),
+	}
+}
+
+func (c *lruCache) get(key string) (solveResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return solveResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) add(key string, res solveResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A coalescing race can insert the same key twice; keep the
+		// newer result and the recency bump.
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evicted.Inc()
+	}
+}
+
+// len reports the live entry count (tests).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup coalesces concurrent identical solves, singleflight
+// style: the first request for a key becomes the leader and runs the
+// solve; followers arriving while it is in flight block on the
+// leader's completion (or their own deadline) and share its result.
+// Combined with the LRU this guarantees the acceptance property that N
+// concurrent identical requests cost exactly one SAT solve.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  solveResult
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do runs fn for key unless an identical call is already in flight, in
+// which case it waits for that call and shares its outcome. shared
+// reports whether the result came from another request's solve. A
+// follower whose ctx expires first gets ctx.Err() — the leader's solve
+// keeps running for the peers still waiting on it.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (solveResult, error)) (res solveResult, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return solveResult{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

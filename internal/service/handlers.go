@@ -1,0 +1,536 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/properties"
+	"repro/internal/reconstruct"
+	"repro/internal/sat"
+	"repro/internal/trace"
+)
+
+// Default enumeration bounds when a request leaves limit at 0. A
+// request asks for an exhaustive enumeration with limit = -1 (the
+// deadline still bounds it).
+const (
+	defaultReconstructLimit = 16
+	defaultCountLimit       = 4096
+)
+
+// jobRequest is the JSON job spec of /v1/reconstruct and /v1/count.
+// Exactly one of (TP, K) or Log must be present: TP/K queries a single
+// entry given inline; Log carries a whole core.WriteLog wire-format
+// log (base64 in JSON, raw body for non-JSON content types) whose
+// entries are queried individually.
+type jobRequest struct {
+	Encoding EncodingSpec `json:"encoding"`
+	// TP is a single timeprint, MSB-first bits of width B; K its
+	// change count.
+	TP string `json:"tp,omitempty"`
+	K  int    `json:"k,omitempty"`
+	// Log is a wire-format timeprint log (base64-encoded in JSON).
+	Log []byte `json:"log,omitempty"`
+	// Cycles selects trace-cycle indices of Log (default: all).
+	Cycles []int `json:"cycles,omitempty"`
+	// Properties is a temporal-property expression in the
+	// internal/properties grammar, e.g. "mingap(3); dk(32,3)".
+	Properties string `json:"properties,omitempty"`
+	// Limit caps candidates per entry: 0 = endpoint default,
+	// -1 = exhaustive.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline
+	// (capped by Config.MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// entryResponse is the per-trace-cycle result of a job.
+type entryResponse struct {
+	TraceCycle int    `json:"trace_cycle"`
+	TP         string `json:"tp"`
+	K          int    `json:"k"`
+	solveResult
+	// Cached reports the result came from the LRU; Coalesced that it
+	// was shared with a concurrent identical request's solve.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+type jobResponse struct {
+	M       int             `json:"m"`
+	B       int             `json:"b"`
+	Results []entryResponse `json:"results"`
+}
+
+// httpError carries a status code through the solve path to the
+// response writer.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter(MetricReqReconstruct).Inc()
+	s.handleJob(w, r, false)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter(MetricReqCount).Inc()
+	s.handleJob(w, r, true)
+}
+
+// handleJob is the shared reconstruct/count path; countOnly drops the
+// candidate materialization from the response (the cache keys differ,
+// so the two endpoints never alias).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, countOnly bool) {
+	defer s.obs.StartSpan(SpanRequest).End()
+	job, err := s.parseJob(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, nerr := job.Encoding.normalize()
+	if nerr != nil && job.Log == nil {
+		// A wire log can still fill in m and b below; an inline TP/K
+		// query cannot recover.
+		s.writeError(w, badRequest("encoding: %v", nerr))
+		return
+	}
+
+	// Assemble the (trace-cycle, entry) work list.
+	type workItem struct {
+		tc    int
+		entry core.LogEntry
+	}
+	var items []workItem
+	if job.Log != nil {
+		if job.TP != "" {
+			s.writeError(w, badRequest("give either tp/k or log, not both"))
+			return
+		}
+		m, b, entries, err := core.ReadLog(bytes.NewReader(job.Log))
+		if err != nil {
+			s.writeError(w, badRequest("wire log: %v", err))
+			return
+		}
+		if job.Encoding.M == 0 {
+			job.Encoding.M = m
+		}
+		if job.Encoding.B == 0 {
+			job.Encoding.B = b
+		}
+		if spec, nerr = job.Encoding.normalize(); nerr != nil {
+			s.writeError(w, badRequest("encoding: %v", nerr))
+			return
+		}
+		if spec.M != m || spec.B != b {
+			s.writeError(w, badRequest("encoding (m=%d, b=%d) does not match wire header (m=%d, b=%d)", spec.M, spec.B, m, b))
+			return
+		}
+		if len(job.Cycles) == 0 {
+			for tc, e := range entries {
+				items = append(items, workItem{tc, e})
+			}
+		} else {
+			for _, tc := range job.Cycles {
+				if tc < 0 || tc >= len(entries) {
+					s.writeError(w, badRequest("trace-cycle %d outside [0,%d)", tc, len(entries)))
+					return
+				}
+				items = append(items, workItem{tc, entries[tc]})
+			}
+		}
+	} else {
+		if job.TP == "" {
+			s.writeError(w, badRequest("need tp/k or a wire log"))
+			return
+		}
+		tp, err := bitvec.Parse(job.TP)
+		if err != nil {
+			s.writeError(w, badRequest("tp: %v", err))
+			return
+		}
+		if tp.Width() != spec.B {
+			s.writeError(w, badRequest("tp width %d, want b=%d", tp.Width(), spec.B))
+			return
+		}
+		items = append(items, workItem{0, core.LogEntry{TP: tp, K: job.K}})
+	}
+
+	// Canonicalize properties once; the parsed form's String() is the
+	// cache-key representation, so equivalent spellings share entries.
+	var constraints []reconstruct.Constraint
+	propKey := ""
+	if job.Properties != "" {
+		prop, err := properties.Parse(job.Properties)
+		if err != nil {
+			s.writeError(w, badRequest("properties: %v", err))
+			return
+		}
+		constraints = append(constraints, prop)
+		propKey = prop.String()
+	}
+
+	limit := job.Limit
+	if limit == 0 {
+		if countOnly {
+			limit = defaultCountLimit
+		} else {
+			limit = defaultReconstructLimit
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(job.TimeoutMS))
+	defer cancel()
+	sess := s.sessions.get(spec)
+
+	resp := jobResponse{M: spec.M, B: spec.B}
+	for _, it := range items {
+		er, err := s.solveEntry(ctx, sess, it.entry, constraints, propKey, limit, countOnly)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		er.TraceCycle = it.tc
+		resp.Results = append(resp.Results, er)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// solveEntry answers one (entry, properties, limit) query through the
+// cache → singleflight → admission → solver pipeline.
+func (s *Server) solveEntry(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, propKey string, limit int, countOnly bool) (entryResponse, error) {
+	er := entryResponse{TP: entry.TP.String(), K: entry.K}
+	key := cacheKey(sess.spec.key(), entry, propKey, limit, countOnly)
+
+	if res, ok := s.cache.get(key); ok {
+		er.solveResult, er.Cached = res, true
+		return er, nil
+	}
+	res, shared, err := s.flight.do(ctx, key, func() (solveResult, error) {
+		res, err := s.solve(ctx, sess, entry, constraints, limit, countOnly)
+		if err == nil {
+			s.cache.add(key, res)
+		}
+		return res, err
+	})
+	if err != nil {
+		return er, err
+	}
+	if shared {
+		s.obs.Counter(MetricCoalesced).Inc()
+	}
+	er.solveResult, er.Coalesced = res, shared
+	return er, nil
+}
+
+// solve runs the SAT search under admission control and the request
+// deadline.
+func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, limit int, countOnly bool) (solveResult, error) {
+	release, err := s.admit.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			return solveResult{}, &httpError{code: http.StatusTooManyRequests, msg: "admission queue full, retry later"}
+		}
+		return solveResult{}, s.deadlineError(err)
+	}
+	defer release()
+	defer s.obs.StartSpan(SpanSolve).End()
+	s.obs.Counter(MetricSolves).Inc()
+
+	if s.solveDelay > 0 {
+		select {
+		case <-time.After(s.solveDelay):
+		case <-ctx.Done():
+			return solveResult{}, s.deadlineError(ctx.Err())
+		}
+	}
+
+	enc, err := sess.encoding()
+	if err != nil {
+		return solveResult{}, badRequest("encoding: %v", err)
+	}
+	rec, err := reconstruct.New(enc, entry, constraints, reconstruct.Options{
+		MaxConflicts: s.cfg.MaxConflicts,
+		Obs:          s.obs,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrWidth) || errors.Is(err, core.ErrKRange) {
+			return solveResult{}, badRequest("%v", err)
+		}
+		return solveResult{}, err
+	}
+	if limit < 0 {
+		limit = 0 // reconstruct's "exhaustive"
+	}
+	sigs, exhausted, err := rec.EnumerateWithin(ctx.Done(), limit)
+	if err != nil {
+		switch {
+		case errors.Is(err, sat.ErrInterrupted):
+			return solveResult{}, s.deadlineError(ctx.Err())
+		case errors.Is(err, sat.ErrBudget):
+			return solveResult{}, &httpError{code: http.StatusServiceUnavailable, msg: "solver conflict budget exhausted"}
+		}
+		return solveResult{}, err
+	}
+	res := solveResult{Count: len(sigs), Exhausted: exhausted}
+	if !countOnly {
+		res.Candidates = make([]string, len(sigs))
+		res.Changes = make([][]int, len(sigs))
+		for i, sig := range sigs {
+			res.Candidates[i] = sig.String()
+			res.Changes[i] = sig.Changes()
+		}
+	}
+	return res, nil
+}
+
+// deadlineError maps a context error to the HTTP layer: an expired
+// deadline is 504 (and counted), a client cancellation is 499-style
+// (reported as 504 too — the connection is gone anyway).
+func (s *Server) deadlineError(err error) error {
+	s.obs.Counter(MetricTimeouts).Inc()
+	msg := "request deadline exceeded before the solve finished"
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		msg = "request cancelled before the solve finished"
+	}
+	return &httpError{code: http.StatusGatewayTimeout, msg: msg}
+}
+
+// cacheKey hashes the canonical query identity: encoding session key,
+// timeprint, k, properties, limit and operation. Two requests agree on
+// the key iff the engine would do identical work for them.
+func cacheKey(sessKey string, entry core.LogEntry, propKey string, limit int, countOnly bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|tp=%s|k=%d|props=%s|limit=%d|count=%t", sessKey, entry.TP.Key(), entry.K, propKey, limit, countOnly)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// timeout resolves the effective per-request deadline.
+func (s *Server) timeout(requestMS int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if requestMS > 0 {
+		d = time.Duration(requestMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// parseJob reads a job from either a JSON body or a raw wire-format
+// body with query-parameter options.
+func (s *Server) parseJob(r *http.Request) (jobRequest, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		var job jobRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&job); err != nil {
+			return jobRequest{}, badRequest("json body: %v", err)
+		}
+		return job, nil
+	}
+	// Raw wire-format body; options ride in the query string.
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return jobRequest{}, badRequest("body: %v", err)
+	}
+	if len(raw) == 0 {
+		return jobRequest{}, badRequest("empty body")
+	}
+	job := jobRequest{Log: raw}
+	q := r.URL.Query()
+	job.Encoding.Scheme = q.Get("scheme")
+	job.Properties = q.Get("properties")
+	for name, dst := range map[string]*int{
+		"m": &job.Encoding.M, "b": &job.Encoding.B, "depth": &job.Encoding.Depth,
+		"limit": &job.Limit, "timeout_ms": &job.TimeoutMS,
+	} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return jobRequest{}, badRequest("query %s=%q: %v", name, v, err)
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return jobRequest{}, badRequest("query seed=%q: %v", v, err)
+		}
+		job.Encoding.Seed = n
+	}
+	if v := q.Get("cycles"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return jobRequest{}, badRequest("query cycles=%q: %v", v, err)
+			}
+			job.Cycles = append(job.Cycles, n)
+		}
+	}
+	return job, nil
+}
+
+// compareRequest carries two wire logs recorded under the same trace
+// parameters; /v1/compare diffs them trace-cycle by trace-cycle (the
+// paper's Section 5.2.2 hardware-vs-simulation check as a service).
+type compareRequest struct {
+	Encoding EncodingSpec `json:"encoding"`
+	// Ref and Obs are core.WriteLog wire logs (base64 in JSON): the
+	// reference (simulation) side and the observed (hardware) side.
+	Ref []byte `json:"ref"`
+	Obs []byte `json:"obs"`
+}
+
+type compareMismatch struct {
+	TraceCycle int  `json:"trace_cycle"`
+	KDiffers   bool `json:"k_differs"`
+	TPDiffers  bool `json:"tp_differs"`
+	// StartS is the absolute start time of the trace-cycle, present
+	// when the session's clock rate is known.
+	StartS *float64 `json:"start_s,omitempty"`
+}
+
+type compareResponse struct {
+	M          int               `json:"m"`
+	B          int               `json:"b"`
+	Cycles     int               `json:"cycles_compared"`
+	Mismatches []compareMismatch `json:"mismatches"`
+	// First is the earliest mismatching trace-cycle, -1 when the logs
+	// agree — the localization answer a debug flow consumes first.
+	First int `json:"first_mismatch"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	defer s.obs.StartSpan(SpanRequest).End()
+	s.obs.Counter(MetricReqCompare).Inc()
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	var req compareRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, badRequest("json body: %v", err))
+		return
+	}
+	if len(req.Ref) == 0 || len(req.Obs) == 0 {
+		s.writeError(w, badRequest("need both ref and obs wire logs"))
+		return
+	}
+	mr, br, refEntries, err := core.ReadLog(bytes.NewReader(req.Ref))
+	if err != nil {
+		s.writeError(w, badRequest("ref log: %v", err))
+		return
+	}
+	mo, bo, obsEntries, err := core.ReadLog(bytes.NewReader(req.Obs))
+	if err != nil {
+		s.writeError(w, badRequest("obs log: %v", err))
+		return
+	}
+	if mr != mo || br != bo {
+		s.writeError(w, badRequest("logs disagree on geometry: ref (m=%d, b=%d) vs obs (m=%d, b=%d)", mr, br, mo, bo))
+		return
+	}
+	if req.Encoding.M == 0 {
+		req.Encoding.M = mr
+	}
+	if req.Encoding.B == 0 {
+		req.Encoding.B = br
+	}
+	spec, nerr := req.Encoding.normalize()
+	if nerr != nil {
+		s.writeError(w, badRequest("encoding: %v", nerr))
+		return
+	}
+	if spec.M != mr || spec.B != br {
+		s.writeError(w, badRequest("encoding (m=%d, b=%d) does not match logs (m=%d, b=%d)", spec.M, spec.B, mr, br))
+		return
+	}
+	// Register the session (shared with reconstruct/count requests for
+	// the same signal, and counted by the sessions gauge), then build
+	// the two aligned stores.
+	s.sessions.get(spec)
+	ref := trace.NewStore("ref", spec.ClockHz, mr, br)
+	obsStore := trace.NewStore("obs", spec.ClockHz, mr, br)
+	ref.Epoch, obsStore.Epoch = spec.Epoch, spec.Epoch
+	ref.Obs = s.obs
+	if err := ref.Append(refEntries...); err != nil {
+		s.writeError(w, badRequest("ref log: %v", err))
+		return
+	}
+	if err := obsStore.Append(obsEntries...); err != nil {
+		s.writeError(w, badRequest("obs log: %v", err))
+		return
+	}
+	mms, err := trace.Compare(ref, obsStore)
+	if err != nil {
+		s.writeError(w, badRequest("compare: %v", err))
+		return
+	}
+	n := min(len(refEntries), len(obsEntries))
+	resp := compareResponse{
+		M: mr, B: br, Cycles: n,
+		Mismatches: make([]compareMismatch, 0, len(mms)),
+		First:      trace.FirstMismatch(mms),
+	}
+	for _, mm := range mms {
+		cm := compareMismatch{TraceCycle: mm.TraceCycle, KDiffers: mm.KDiffers, TPDiffers: mm.TPDiffers}
+		if spec.ClockHz > 0 {
+			t := ref.TraceCycleStart(mm.TraceCycle)
+			cm.StartS = &t
+		}
+		resp.Mismatches = append(resp.Mismatches, cm)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]string{"status": status})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	he := &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+	errors.As(err, &he)
+	if he.code == http.StatusTooManyRequests {
+		// The client should back off for about one solve's worth of
+		// queue drain; 1s is the conventional coarse hint.
+		w.Header().Set("Retry-After", "1")
+	} else {
+		s.obs.Counter(MetricErrors).Inc()
+	}
+	s.writeJSON(w, he.code, map[string]string{"error": he.msg})
+}

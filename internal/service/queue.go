@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// errQueueFull is returned by admission.acquire when the bounded wait
+// queue is at capacity — the handler maps it to 429 + Retry-After.
+var errQueueFull = errors.New("service: admission queue full")
+
+// admission is the solve-path concurrency limiter: at most workers
+// solves run at once, at most depth more may wait for a slot, and
+// anything beyond that is rejected immediately so the caller can shed
+// load instead of stacking goroutines without bound.
+//
+// Admission gates the expensive work (the SAT solve), not the HTTP
+// request: cache hits and coalesced waiters never consume a slot, so a
+// thundering herd of identical queries needs exactly one admission.
+type admission struct {
+	depth   int64
+	waiting atomic.Int64
+	slots   chan struct{}
+
+	queueGauge *obs.Gauge
+	busyGauge  *obs.Gauge
+	shed       *obs.Counter
+}
+
+func newAdmission(depth, workers int, r *obs.Registry) *admission {
+	return &admission{
+		depth:      int64(depth),
+		slots:      make(chan struct{}, workers),
+		queueGauge: r.Gauge(MetricQueueDepth),
+		busyGauge:  r.Gauge(MetricSolveBusy),
+		shed:       r.Counter(MetricShed),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue if all
+// workers are busy. It returns errQueueFull when the queue is at
+// capacity and ctx.Err() when the request deadline expires while
+// queued. On success the caller must invoke the release function.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	// Reserve a queue position with a CAS loop so the bound is exact
+	// under concurrency (a plain Add could overshoot and bounce peers
+	// that would have fit).
+	for {
+		w := a.waiting.Load()
+		if w >= a.depth {
+			a.shed.Inc()
+			return nil, errQueueFull
+		}
+		if a.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
+	a.queueGauge.Add(1)
+	defer func() {
+		a.waiting.Add(-1)
+		a.queueGauge.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.busyGauge.Add(1)
+		return func() {
+			<-a.slots
+			a.busyGauge.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

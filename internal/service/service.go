@@ -1,0 +1,259 @@
+// Package service implements timeprintd, the streaming reconstruction
+// daemon: a long-running HTTP service that ingests timeprint logs —
+// either the bit-exact core.WriteLog wire format or JSON job specs —
+// and answers signal-reconstruction queries with the existing
+// reconstruct engine.
+//
+// This is the off-chip backend of the paper's Figure 3 pipeline turned
+// into a server: the on-chip logger streams constant-rate (TP, k)
+// entries off-chip, and debug clients POST them here for on-demand
+// reconstruction instead of running the solver locally.
+//
+//	POST /v1/reconstruct   enumerate candidate signals for log entries
+//	POST /v1/count         count candidate signals (ambiguity probe)
+//	POST /v1/compare       diff two wire logs trace-cycle by trace-cycle
+//	GET  /healthz          liveness and drain state
+//	GET  /metrics(.txt)    live obs.Registry snapshot
+//
+// The serving discipline is built for sustained heavy traffic:
+//
+//   - Sessions. Encodings are expensive to generate (the greedy LI-4
+//     constructions are O(m³)); a session keyed by the canonical
+//     (m, b, encoding, ClockHz/Epoch) tuple builds each encoding once
+//     and shares it across requests.
+//   - Bounded admission. SAT solves pass through a bounded admission
+//     queue; when it is full the server sheds load with 429 and a
+//     Retry-After hint instead of collapsing under a convoy.
+//   - Deadlines. Every request runs under a deadline that is threaded
+//     into the solver as a cooperative sat.Solver.Interrupt, so an
+//     adversarial instance cannot pin a worker.
+//   - Caching + coalescing. Results are cached in an LRU keyed by a
+//     canonical hash of (encoding, m, b, TP, k, properties, limit),
+//     and concurrent identical requests coalesce onto one in-flight
+//     solve (singleflight), so a thundering herd of equal queries
+//     costs exactly one SAT search.
+//   - Graceful drain. Shutdown stops accepting, lets in-flight
+//     requests finish inside a drain budget, then cancels stragglers.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names published by the service layer.
+const (
+	// Per-endpoint request counters.
+	MetricReqReconstruct = "service.requests.reconstruct"
+	MetricReqCount       = "service.requests.count"
+	MetricReqCompare     = "service.requests.compare"
+	// MetricShed counts requests rejected with 429 because the
+	// admission queue was full; MetricTimeouts counts solves stopped by
+	// a request deadline (mapped to 504).
+	MetricShed     = "service.http.shed"
+	MetricTimeouts = "service.http.timeouts"
+	MetricErrors   = "service.http.errors"
+	// Admission-control gauges: queued solves waiting for a worker slot
+	// and solves currently running (Max is peak concurrency).
+	MetricQueueDepth = "service.queue.depth"
+	MetricSolveBusy  = "service.solve.busy"
+	// Cache counters: lookups served from the LRU, misses that led a
+	// solve, entries evicted by capacity, and requests that coalesced
+	// onto another request's in-flight solve.
+	MetricCacheHits    = "service.cache.hits"
+	MetricCacheMisses  = "service.cache.misses"
+	MetricCacheEvicted = "service.cache.evicted"
+	MetricCoalesced    = "service.coalesced"
+	// MetricSolves counts SAT solves actually executed (cache misses
+	// that won the singleflight race); MetricSessions counts live
+	// sessions.
+	MetricSolves   = "service.solves"
+	MetricSessions = "service.sessions"
+	// SpanSolve times the solve path (queue wait excluded); SpanRequest
+	// times whole requests including queueing and serialization.
+	SpanSolve   = "service.solve"
+	SpanRequest = "service.request"
+)
+
+// Config tunes a Server. The zero value serves on an ephemeral port
+// with sensible production defaults.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// QueueDepth bounds how many solves may wait for a worker slot
+	// before the server sheds load with 429 (default 64).
+	QueueDepth int
+	// Workers bounds concurrently running solves (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 1024).
+	CacheSize int
+	// DefaultTimeout is the per-request solve deadline when the request
+	// does not set one (default 10s); MaxTimeout caps what a request
+	// may ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxConflicts is a server-side cap on solver effort per solve;
+	// 0 means unlimited.
+	MaxConflicts int64
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown: after SIGTERM, in-flight
+	// requests get this long to finish before being cancelled
+	// (default 15s).
+	DrainTimeout time.Duration
+	// MaxSessions bounds the session table (default 256); least
+	// recently used sessions are evicted beyond it.
+	MaxSessions int
+	// Obs receives the service metrics; nil disables instrumentation
+	// (every layer below tolerates that).
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	return c
+}
+
+// Server is a live timeprintd instance. Construct with New, then
+// either Start/Shutdown for embedding or Run for the daemon shape.
+type Server struct {
+	cfg      Config
+	obs      *obs.Registry
+	sessions *sessionTable
+	cache    *lruCache
+	flight   *flightGroup
+	admit    *admission
+
+	http     *http.Server
+	listener net.Listener
+	ready    chan struct{}
+	draining atomic.Bool
+
+	// solveDelay stretches every solve; tests use it to hold requests
+	// in flight deterministically. Zero in production.
+	solveDelay time.Duration
+}
+
+// New builds a server from cfg. It does not bind the listener yet.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		sessions: newSessionTable(cfg.MaxSessions, cfg.Obs),
+		cache:    newLRUCache(cfg.CacheSize, cfg.Obs),
+		flight:   newFlightGroup(),
+		admit:    newAdmission(cfg.QueueDepth, cfg.Workers, cfg.Obs),
+		ready:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reconstruct", s.handleReconstruct)
+	mux.HandleFunc("POST /v1/count", s.handleCount)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Obs != nil {
+		h := obs.Handler(cfg.Obs)
+		mux.Handle("GET /metrics", h)
+		mux.Handle("GET /metrics.txt", h)
+	}
+	s.http = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler exposes the service mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Start binds the listener and serves in a background goroutine. It
+// returns the bound address once the server is accepting connections.
+func (s *Server) Start() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	close(s.ready)
+	go func() {
+		// ErrServerClosed is the normal shutdown outcome.
+		_ = s.http.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Ready is closed once the listener is bound.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Addr returns the bound address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server gracefully: the listener closes, idle
+// connections are torn down, and in-flight requests get until ctx's
+// deadline to finish; after that the remaining connections are closed
+// hard, which cancels their request contexts and — through
+// InterruptOnDone — interrupts any solver still searching.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if err := s.http.Shutdown(ctx); err != nil {
+		closeErr := s.http.Close()
+		return fmt.Errorf("service: drain incomplete (%w), connections closed (close: %v)", err, closeErr)
+	}
+	return nil
+}
+
+// Run is the daemon main loop: Start, then serve until ctx is
+// cancelled (the caller wires SIGTERM/SIGINT into ctx via
+// signal.NotifyContext), then drain within Config.DrainTimeout. It
+// returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	if _, err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(dctx)
+}
