@@ -7,7 +7,13 @@ BENCH_GUARD    ?= BenchmarkPresolveOnOff|BenchmarkParallelWorkers
 BENCH_BASELINE ?= BENCH_PR3.json
 BENCH_FLAGS     = -run='^$$' -bench='$(BENCH_GUARD)' -count=5 -benchtime=1x .
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord metrics-smoke timeprintd service-smoke
+# The incremental-session benchmark and its own baseline (PR6): the
+# 16-query m=512/k=8 session, incremental vs fresh-solver.
+SESSION_GUARD    = BenchmarkSessionQueries
+SESSION_BASELINE = BENCH_PR6.json
+SESSION_FLAGS    = -run='^$$' -bench='$(SESSION_GUARD)' -count=5 -benchtime=1x .
+
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record metrics-smoke timeprintd service-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -50,6 +56,15 @@ benchdiff:
 
 benchrecord:
 	$(GO) test $(BENCH_FLAGS) | $(GO) run ./cmd/benchdiff -record -out $(BENCH_BASELINE) -note "count=5 benchtime=1x $(BENCH_GUARD)"
+
+# session-bench guards the incremental-session speedup (PR6): rerun
+# BenchmarkSessionQueries and fail if either side's median slowed >30%
+# against BENCH_PR6.json. session-bench-record refreshes that baseline.
+session-bench:
+	$(GO) test $(SESSION_FLAGS) | $(GO) run ./cmd/benchdiff -baseline $(SESSION_BASELINE) -threshold 0.30
+
+session-bench-record:
+	$(GO) test $(SESSION_FLAGS) | $(GO) run ./cmd/benchdiff -record -out $(SESSION_BASELINE) -note "count=5 benchtime=1x $(SESSION_GUARD)"
 
 # metrics-smoke exercises the observability contract end to end: a
 # selfcheck run dumps a -metrics snapshot, metricscheck validates the

@@ -352,3 +352,80 @@ func BenchmarkAblationLIDepth(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSessionQueries is the incremental-solving headline: the
+// post-silicon debug session workload (Cao et al.) — one fixed m=512
+// LI-4 encoding, 16 successive (TP, k=8) log entries from one traced
+// signal, each asking for a witness reconstruction under the debug
+// hypothesis that the activity burst lies inside a 48-cycle suspicion
+// window (the paper's Section 5 postmortem query). The incremental
+// side builds one reconstruct.Session and answers every entry with
+// assumption solves on the retained solver, so the A-structure, the
+// cardinality ladder and the window's guarded encoding are paid for
+// once; the fresh side rebuilds a one-shot CNF instance per entry,
+// the pre-PR6 behavior, and its per-query encode + presolve cost
+// dominates. The benchdiff guard records both sides in BENCH_PR6.json
+// (make session-bench); the incremental side must hold a >= 2x
+// advantage.
+func BenchmarkSessionQueries(b *testing.B) {
+	const (
+		m       = 512
+		k       = 8
+		queries = 16
+	)
+	enc, err := bench.CachedEncoding("incremental", m, bench.PaperB[m], 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := properties.Window{Lo: 0, Hi: 48}
+	props := []reconstruct.Constraint{window}
+	// 16 distinct 8-change bursts inside the window, generated by a
+	// fixed congruence so the workload is deterministic.
+	entries := make([]core.LogEntry, queries)
+	for q := range entries {
+		changes := make([]int, 0, k)
+		used := map[int]bool{}
+		x := 3 + q
+		for len(changes) < k {
+			x = (x*5 + 3 + q) % window.Hi
+			for used[x] {
+				x = (x + 1) % window.Hi
+			}
+			used[x] = true
+			changes = append(changes, x)
+		}
+		entries[q] = core.Log(enc, core.SignalFromChanges(m, changes...))
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess, err := reconstruct.NewSession(enc, reconstruct.SessionOptions{MaxK: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				sigs, _, err := sess.Query(e, props, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sigs) == 0 {
+					b.Fatal("no witness")
+				}
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, e := range entries {
+				rec, err := reconstruct.New(enc, e, props, reconstruct.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sigs, _ := rec.Enumerate(1)
+				if len(sigs) == 0 {
+					b.Fatal("no witness")
+				}
+			}
+		}
+	})
+}

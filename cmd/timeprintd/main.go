@@ -49,6 +49,8 @@ func main() {
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 	maxConflicts := fs.Int64("max-conflicts", 0, "server-side solver conflict budget per solve (0 = unlimited)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget after SIGTERM")
+	sessionMaxK := fs.Int("session-maxk", 16, "largest change count the per-session incremental solver encodes; larger k falls back to one-shot solves")
+	noIncremental := fs.Bool("no-incremental", false, "disable per-session solver reuse; every solve builds a fresh SAT instance (ablation)")
 	smoke := fs.Bool("smoke", false, "run an end-to-end smoke test against an in-process server and exit")
 	_ = fs.Parse(os.Args[1:])
 
@@ -56,15 +58,17 @@ func main() {
 	core.SetObserver(reg)
 	defer core.SetObserver(nil)
 	cfg := service.Config{
-		Addr:           *addr,
-		QueueDepth:     *queue,
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxConflicts:   *maxConflicts,
-		DrainTimeout:   *drain,
-		Obs:            reg,
+		Addr:               *addr,
+		QueueDepth:         *queue,
+		Workers:            *workers,
+		CacheSize:          *cacheSize,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxConflicts:       *maxConflicts,
+		DrainTimeout:       *drain,
+		SessionMaxK:        *sessionMaxK,
+		DisableIncremental: *noIncremental,
+		Obs:                reg,
 	}
 
 	if *smoke {

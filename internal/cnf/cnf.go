@@ -18,6 +18,15 @@ type Builder struct {
 	// S is the underlying solver; expose it for solving and model
 	// queries once the formula is complete.
 	S *sat.Solver
+
+	// Guard, when nonzero, is a selector variable prepended (negated)
+	// to every clause AddClause emits: the clauses added under the
+	// guard only bind while Guard is assumed true via
+	// sat.Solver.SolveAssuming. This is how an incremental session
+	// encodes optional constraint groups (per-query properties) into
+	// one reusable solver. XOR constraints cannot be guarded — parity
+	// has no monotone selector form — so AddXor panics under a guard.
+	Guard int
 }
 
 // NewBuilder returns a Builder over a fresh solver with n problem
@@ -29,8 +38,18 @@ func NewBuilder(n int) *Builder {
 // NewVar allocates a fresh auxiliary variable.
 func (b *Builder) NewVar() int { return b.S.NewVar() }
 
-// AddClause adds a disjunction of DIMACS literals.
+// AddClause adds a disjunction of DIMACS literals. Under a nonzero
+// Guard the clause becomes (¬Guard ∨ lits...).
 func (b *Builder) AddClause(lits ...int) {
+	if b.Guard != 0 {
+		guarded := make([]int, 0, len(lits)+1)
+		guarded = append(guarded, -b.Guard)
+		guarded = append(guarded, lits...)
+		if err := b.S.AddClause(guarded...); err != nil {
+			panic(fmt.Sprintf("cnf: %v", err))
+		}
+		return
+	}
 	if err := b.S.AddClause(lits...); err != nil {
 		panic(fmt.Sprintf("cnf: %v", err))
 	}
@@ -40,6 +59,9 @@ func (b *Builder) AddClause(lits ...int) {
 // solver's native XOR clauses. This mirrors CryptoMiniSat's xor-clause
 // input that the paper uses for the rows of A·x = TP.
 func (b *Builder) AddXor(vars []int, rhs bool) {
+	if b.Guard != 0 {
+		panic("cnf: AddXor under a Guard — parity constraints cannot be selector-guarded")
+	}
 	if err := b.S.AddXorClause(vars, rhs); err != nil {
 		panic(fmt.Sprintf("cnf: %v", err))
 	}
@@ -221,6 +243,58 @@ func (b *Builder) AtLeastK(lits []int, k int) {
 		}
 	}
 	b.AddClause(u[n][k])
+}
+
+// Ladder builds the width-w sequential counter of AtLeastK WITHOUT the
+// final assertion and returns its output column: outs[j-1] is a
+// variable equivalent to "at least j of lits are true", for j in 1..w.
+// Nothing is constrained by the ladder itself — the counter rungs are
+// full equivalences — so one ladder serves every cardinality bound up
+// to w as assumption literals:
+//
+//	exactly k  =  assume outs[k-1] (k >= 1) and -outs[k] (k < w)
+//
+// which is how an incremental session reuses one encoding across
+// queries with different logged change counts. w must be in
+// [1, len(lits)].
+func (b *Builder) Ladder(lits []int, w int) []int {
+	n := len(lits)
+	if w < 1 || w > n {
+		panic(fmt.Sprintf("cnf: Ladder width %d outside [1, %d]", w, n))
+	}
+	// u[i][j] for i in 1..n, j in 1..w: at least j of the first i.
+	u := make([][]int, n+1)
+	for i := 1; i <= n; i++ {
+		u[i] = make([]int, w+1)
+		for j := 1; j <= w; j++ {
+			u[i][j] = b.NewVar()
+		}
+	}
+	x := func(i int) int { return lits[i-1] }
+
+	// Base row: u[1][1] <-> x1; u[1][j] false for j >= 2.
+	b.AddClause(-u[1][1], x(1))
+	b.AddClause(u[1][1], -x(1))
+	for j := 2; j <= w; j++ {
+		b.AddClause(-u[1][j])
+	}
+	for i := 2; i <= n; i++ {
+		for j := 1; j <= w; j++ {
+			// Forward: count >= j propagates into u.
+			b.AddClause(-u[i-1][j], u[i][j])
+			if j == 1 {
+				b.AddClause(-x(i), u[i][1])
+			} else {
+				b.AddClause(-x(i), -u[i-1][j-1], u[i][j])
+			}
+			// Backward: u true needs support from the count.
+			b.AddClause(-u[i][j], u[i-1][j], x(i))
+			if j > 1 {
+				b.AddClause(-u[i][j], u[i-1][j], u[i-1][j-1])
+			}
+		}
+	}
+	return u[n][1 : w+1]
 }
 
 // ExactlyK constrains exactly k of the literals to be true — the

@@ -297,3 +297,58 @@ func TestBinomialExactlyError(t *testing.T) {
 		t.Error("at-least-4-of-3 should mark unsat")
 	}
 }
+
+// TestLadderCounts checks the unasserted counter: every cardinality
+// bound expressible as ladder assumptions must count exactly like the
+// committed ExactlyK encoding, against the same reusable solver.
+func TestLadderCounts(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		b := NewBuilder(n)
+		lits := make([]int, n)
+		for i := range lits {
+			lits[i] = i + 1
+		}
+		outs := b.Ladder(lits, n)
+		for k := 0; k <= n; k++ {
+			var assumps []int
+			if k >= 1 {
+				assumps = append(assumps, outs[k-1])
+			}
+			if k < n {
+				assumps = append(assumps, -outs[k])
+			}
+			got := 0
+			_, st, err := b.S.EnumerateAssuming(assumps, lits, 0, func(map[int]bool) bool {
+				got++
+				return true
+			})
+			if err != nil || st != sat.Unsat {
+				t.Fatalf("n=%d k=%d: st=%v err=%v", n, k, st, err)
+			}
+			if want := binomialRef(n, k); got != want {
+				t.Errorf("Ladder n=%d k=%d: %d models, want %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestGuardedBuilder checks Guard-scoped clauses only bind while their
+// selector is assumed.
+func TestGuardedBuilder(t *testing.T) {
+	b := NewBuilder(2)
+	sel := b.NewVar()
+	b.Guard = sel
+	b.AddClause(-1)
+	b.AtMostK([]int{1, 2}, 1)
+	b.Guard = 0
+
+	if st := b.S.SolveAssuming([]int{1, 2}); st != sat.Sat {
+		t.Fatalf("guard leaked without selector: %v", st)
+	}
+	if st := b.S.SolveAssuming([]int{sel, 1}); st != sat.Unsat {
+		t.Fatalf("guarded clause inactive: %v", st)
+	}
+	if st := b.S.SolveAssuming([]int{sel, -1, 2}); st != sat.Sat {
+		t.Fatalf("guarded constraints over-blocking: %v", st)
+	}
+}

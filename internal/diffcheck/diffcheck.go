@@ -4,11 +4,12 @@
 // asserts that corrupted timeprint logs fail closed everywhere.
 //
 // The paper's postmortem story (Sections 4–5) rests on the
-// reconstructor being exact. This repository has four independent ways
+// reconstructor being exact. This repository has five independent ways
 // to answer a Signal Reconstruction query — the algebraic syndrome
 // decoder (internal/decode, k <= 4), the serial CDCL path, the
-// cube-split parallel portfolio, and GF(2) brute force — plus
-// exhaustive concretization for tiny m. They share almost no code below
+// incremental assumption-based session solver, the cube-split parallel
+// portfolio, and GF(2) brute force — plus exhaustive concretization
+// for tiny m. They share almost no code below
 // the encoding, so agreement across all pairs on a randomized corpus is
 // strong evidence of correctness, and any disagreement is distilled
 // into a self-contained repro (CaseSpec) that Replay re-runs without

@@ -17,6 +17,10 @@ const exhaustiveMaxM = 16
 // bruteMaxNullity bounds the 2^(m-rank) GF(2) coset enumeration.
 const bruteMaxNullity = 22
 
+// sessionMaxK is the cardinality-ladder width built for the
+// incremental-session oracle; corpus change counts stay well under it.
+const sessionMaxK = 16
+
 // oracle is one independent Signal Reconstruction implementation. run
 // must return the complete candidate set for the entry (no limit); the
 // harness canonicalizes and compares the sets.
@@ -30,6 +34,8 @@ type oracle struct {
 //
 //   - decode:     algebraic syndrome decoding (internal/decode), k <= 4
 //   - sat:        serial CDCL enumeration (internal/reconstruct)
+//   - sat-inc:    incremental assumption-based session solver, queried
+//     twice against one retained solver (reuse + blocking cleanup)
 //   - sat-par-N:  cube-split parallel portfolio with N workers
 //   - brute:      GF(2) coset enumeration, nullity-bounded
 //   - exhaustive: 2^m concretization (internal/core), m <= 16
@@ -76,6 +82,40 @@ func buildOracles(workers []int, reg *obs.Registry) []oracle {
 					return nil, fmt.Errorf("serial enumeration not exhausted")
 				}
 				return sigs, nil
+			},
+		},
+		{
+			// The incremental session path: the same CDCL engine, but
+			// driven through selector assumptions against a retained
+			// solver (uncut parity rows + in-solver Gauss) instead of a
+			// per-entry formula. Querying twice exercises solver reuse —
+			// the second run sees the first run's learned clauses and
+			// must not see its retracted blocking clauses.
+			name:    "sat-inc",
+			applies: func(cs CaseSpec) bool { return cs.K <= sessionMaxK },
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				sess, err := reconstruct.NewSession(enc, reconstruct.SessionOptions{MaxK: sessionMaxK, Obs: reg})
+				if err != nil {
+					return nil, err
+				}
+				first, exhausted, err := sess.Query(entry, nil, 0)
+				if err != nil {
+					return nil, err
+				}
+				if !exhausted {
+					return nil, fmt.Errorf("session enumeration not exhausted")
+				}
+				again, exhausted, err := sess.Query(entry, nil, 0)
+				if err != nil {
+					return nil, fmt.Errorf("session re-query: %w", err)
+				}
+				if !exhausted {
+					return nil, fmt.Errorf("session re-query not exhausted")
+				}
+				if len(again) != len(first) {
+					return nil, fmt.Errorf("session re-query returned %d signals, first run %d", len(again), len(first))
+				}
+				return first, nil
 			},
 		},
 		{

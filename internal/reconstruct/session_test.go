@@ -1,0 +1,242 @@
+package reconstruct
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/properties"
+	"repro/internal/sat"
+)
+
+func randomEntry(r *rand.Rand, m int, enc interface {
+	M() int
+}) core.Signal {
+	v := bitvec.New(m)
+	for i := 0; i < m; i++ {
+		if r.Intn(3) == 0 {
+			v.Set(i, true)
+		}
+	}
+	return core.SignalFromVector(v)
+}
+
+// TestSessionMatchesOneShot runs many (TP, k) queries against ONE
+// session and checks every answer bit-exactly against a fresh one-shot
+// Reconstructor.
+func TestSessionMatchesOneShot(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		m := 10 + r.Intn(7)
+		enc := mustEnc(t, m, 9+r.Intn(3), 4)
+		sess, err := NewSession(enc, SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 12; q++ {
+			entry := core.Log(enc, randomEntry(r, m, enc))
+			got, exhausted, err := sess.Query(entry, nil, 0)
+			if err != nil {
+				t.Fatalf("trial %d query %d: %v", trial, q, err)
+			}
+			if !exhausted {
+				t.Fatalf("trial %d query %d: not exhausted", trial, q)
+			}
+			rec, err := New(enc, entry, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantEx := rec.Enumerate(0)
+			if !wantEx {
+				t.Fatal("one-shot not exhausted")
+			}
+			gk, wk := sigKeySet(got), sigKeySet(want)
+			if len(gk) != len(wk) {
+				t.Fatalf("trial %d query %d: session %d signals, one-shot %d", trial, q, len(gk), len(wk))
+			}
+			for k := range wk {
+				if !gk[k] {
+					t.Fatalf("trial %d query %d: session missing %s", trial, q, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionProperties checks property constraints arm and disarm per
+// query: a constrained query must match the constrained one-shot path,
+// and the following unconstrained query must be unaffected.
+func TestSessionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	m := 14
+	enc := mustEnc(t, m, 10, 4)
+	sess, err := NewSession(enc, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := []Constraint{properties.Window{Lo: 2, Hi: 11}, properties.QuietBefore{D: 2}}
+	for q := 0; q < 10; q++ {
+		entry := core.Log(enc, randomEntry(r, m, enc))
+		var use []Constraint
+		if q%3 != 2 {
+			use = cons[:1+q%2]
+		}
+		got, exhausted, err := sess.Query(entry, use, 0)
+		if err != nil || !exhausted {
+			t.Fatalf("query %d: exhausted=%v err=%v", q, exhausted, err)
+		}
+		rec, err := New(enc, entry, use, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantEx := rec.Enumerate(0)
+		if !wantEx {
+			t.Fatal("one-shot not exhausted")
+		}
+		gk, wk := sigKeySet(got), sigKeySet(want)
+		if len(gk) != len(wk) {
+			t.Fatalf("query %d (%d constraints): session %d signals, one-shot %d", q, len(use), len(gk), len(wk))
+		}
+		for k := range wk {
+			if !gk[k] {
+				t.Fatalf("query %d: session missing %s", q, k)
+			}
+		}
+	}
+}
+
+// TestSessionKBounds: k beyond the ladder is rejected with ErrKRange
+// (the service falls back to one-shot mode on that signal), k within
+// works.
+func TestSessionKBounds(t *testing.T) {
+	m := 12
+	enc := mustEnc(t, m, 9, 4)
+	sess, err := NewSession(enc, SessionOptions{MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.MaxK() != 3 || !sess.Supports(3) || sess.Supports(4) {
+		t.Fatalf("MaxK=%d Supports(3)=%v Supports(4)=%v", sess.MaxK(), sess.Supports(3), sess.Supports(4))
+	}
+	truth := core.SignalFromChanges(m, 1, 4, 6, 9)
+	entry := core.Log(enc, truth) // k = 4 > MaxK
+	if _, _, err := sess.Query(entry, nil, 0); err == nil {
+		t.Fatal("k beyond ladder accepted")
+	}
+	truth = core.SignalFromChanges(m, 1, 4, 6)
+	entry = core.Log(enc, truth)
+	sigs, exhausted, err := sess.Query(entry, nil, 0)
+	if err != nil || !exhausted || len(sigs) == 0 {
+		t.Fatalf("k=3 query failed: %d signals, exhausted=%v, err=%v", len(sigs), exhausted, err)
+	}
+	// k = 0 (empty signal) must also be queryable.
+	entry = core.Log(enc, core.SignalFromChanges(m))
+	sigs, exhausted, err = sess.Query(entry, nil, 0)
+	if err != nil || !exhausted {
+		t.Fatalf("k=0 query failed: exhausted=%v err=%v", exhausted, err)
+	}
+	found := false
+	for _, s := range sigs {
+		if s.K() == 0 {
+			found = true
+		}
+	}
+	if !found || len(sigs) != 1 {
+		t.Fatalf("k=0 expected exactly the empty signal, got %d signals", len(sigs))
+	}
+}
+
+// TestSessionCloneIndependence: a clone answers queries identically
+// and independently, including after the original has accumulated
+// state.
+func TestSessionCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	m := 13
+	enc := mustEnc(t, m, 10, 4)
+	sess, err := NewSession(enc, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the original.
+	for q := 0; q < 4; q++ {
+		entry := core.Log(enc, randomEntry(r, m, enc))
+		if _, _, err := sess.Query(entry, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clone := sess.Clone()
+	entry := core.Log(enc, randomEntry(r, m, enc))
+	a, aEx, err1 := sess.Query(entry, nil, 0)
+	b, bEx, err2 := clone.Query(entry, nil, 0)
+	if err1 != nil || err2 != nil || !aEx || !bEx {
+		t.Fatalf("errs %v/%v exhausted %v/%v", err1, err2, aEx, bEx)
+	}
+	ak, bk := sigKeySet(a), sigKeySet(b)
+	if len(ak) != len(bk) {
+		t.Fatalf("original %d signals, clone %d", len(ak), len(bk))
+	}
+	for k := range ak {
+		if !bk[k] {
+			t.Fatalf("clone missing %s", k)
+		}
+	}
+}
+
+// TestSessionCheck exercises the incremental safety-property query.
+func TestSessionCheck(t *testing.T) {
+	m := 12
+	enc := mustEnc(t, m, 9, 4)
+	sess, err := NewSession(enc, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := core.SignalFromChanges(m, 3, 7)
+	entry := core.Log(enc, truth)
+	st, err := sess.Check(entry, nil)
+	if err != nil || st != sat.Sat {
+		t.Fatalf("Check: %v, %v", st, err)
+	}
+	// QuietBefore(m) forbids all changes, contradicting k=2.
+	st, err = sess.Check(entry, []Constraint{properties.QuietBefore{D: m}})
+	if err != nil || st != sat.Unsat {
+		t.Fatalf("Check with contradiction: %v, %v", st, err)
+	}
+	// And the contradiction must not stick.
+	st, err = sess.Check(entry, nil)
+	if err != nil || st != sat.Sat {
+		t.Fatalf("Check after contradiction: %v, %v", st, err)
+	}
+}
+
+// TestSessionInterruptRecovers: a fired deadline interrupts the query
+// but must not poison the session for the next one. The binary
+// encoding at m=64 is ambiguous enough that the exhaustive enumeration
+// cannot finish before the pre-closed done channel interrupts it.
+func TestSessionInterruptRecovers(t *testing.T) {
+	enc := encoding.Binary(64)
+	sess, err := NewSession(enc, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := core.SignalFromChanges(64, 3, 9, 17, 30, 41, 50)
+	entry := core.Log(enc, truth)
+	done := make(chan struct{})
+	close(done) // already expired
+	_, exhausted, err := sess.EnumerateWithin(done, entry, nil, 0)
+	if !errors.Is(err, sat.ErrInterrupted) {
+		t.Fatalf("err = %v, want sat.ErrInterrupted", err)
+	}
+	if exhausted {
+		t.Fatal("interrupted enumeration reported exhaustion")
+	}
+	// The next query on the SAME session must run to completion: the
+	// interrupt flag was cleared and the blocking clauses dropped.
+	small := core.SignalFromChanges(64, 5)
+	sigs, exhausted, err := sess.Query(core.Log(enc, small), nil, 4)
+	if err != nil || len(sigs) == 0 {
+		t.Fatalf("session poisoned after interrupt: %d signals, exhausted=%v, err=%v", len(sigs), exhausted, err)
+	}
+}

@@ -81,6 +81,68 @@ func (s *Solver) EnumerateModels(projection []int, limit int, fn func(model map[
 	}
 }
 
+// EnumerateAssuming enumerates models under the given assumption
+// literals, with the same projection/limit/fn contract as
+// EnumerateModels — but without consuming the solver. The blocking
+// clauses are guarded by a selector variable that is assumed alongside
+// the caller's assumptions and dropped (together with every blocking
+// clause) when the enumeration returns, so a reused session solver is
+// left exactly as constrained as before the call. Unsat here means
+// "exhausted under these assumptions", not that the formula is
+// unsatisfiable.
+func (s *Solver) EnumerateAssuming(assumptions []int, projection []int, limit int, fn func(model map[int]bool) bool) (int, Status, error) {
+	models := s.Obs.Counter(MetricEnumModels)
+	sel := s.acquireSelector()
+	defer func() {
+		s.DropGuard(sel)
+		s.retireSelector(sel)
+	}()
+	assumps := make([]int, 0, len(assumptions)+1)
+	assumps = append(assumps, assumptions...)
+	assumps = append(assumps, sel)
+
+	count := 0
+	model := make(map[int]bool, len(projection))
+	blocking := make([]int, 0, len(projection))
+	for {
+		st := s.SolveAssuming(assumps)
+		if st != Sat {
+			if st == Unknown {
+				if s.Interrupted() {
+					return count, Unknown, fmt.Errorf("sat: enumeration stopped after %d models: %w", count, ErrInterrupted)
+				}
+				return count, Unknown, fmt.Errorf("sat: enumeration stopped after %d models: %w", count, ErrBudget)
+			}
+			return count, st, nil
+		}
+		clear(model)
+		blocking = blocking[:0]
+		for _, v := range projection {
+			val := s.Value(v)
+			model[v] = val
+			if val {
+				blocking = append(blocking, -v)
+			} else {
+				blocking = append(blocking, v)
+			}
+		}
+		count++
+		models.Inc()
+		if !fn(model) {
+			return count, Sat, nil
+		}
+		if limit > 0 && count >= limit {
+			return count, Sat, nil
+		}
+		// Block this projection under the guard. An empty or level-0
+		// falsified projection degenerates to the unit ¬sel, which ends
+		// the enumeration on the next solve.
+		if err := s.AddGuardedClause(sel, blocking...); err != nil {
+			return count, Unsat, nil
+		}
+	}
+}
+
 // CountModels counts models projected onto the given variables, up to
 // max (<= 0 for unbounded). It returns the count and whether the space
 // was exhausted (true) or the cap was hit (false); an exhausted

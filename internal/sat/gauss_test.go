@@ -1,0 +1,207 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGaussDerivesHiddenUnit checks that elimination finds a forced
+// variable watch propagation alone cannot see: x1^x2 = 1 and
+// x1^x2^x3 = 1 sum to x3 = 0, but each row keeps two unassigned
+// watches so neither propagates on its own.
+func TestGaussDerivesHiddenUnit(t *testing.T) {
+	s := New(3)
+	mustAddXor(t, s, []int{1, 2}, true)
+	mustAddXor(t, s, []int{1, 2, 3}, true)
+	s.EnableGauss = true
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if s.Value(3) {
+		t.Fatalf("x3 should be forced false by elimination")
+	}
+	if s.Stats.GaussRuns == 0 {
+		t.Fatalf("elimination never ran")
+	}
+	if s.Stats.GaussUnits == 0 {
+		t.Fatalf("elimination derived no units")
+	}
+}
+
+func TestGaussDetectsInconsistency(t *testing.T) {
+	s := New(2)
+	mustAddXor(t, s, []int{1, 2}, false)
+	mustAddXor(t, s, []int{1, 2}, true)
+	s.EnableGauss = true
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status %v, want Unsat", st)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Unsat not sticky: %v", st)
+	}
+}
+
+// TestGaussModelCountEquivalence compares full projected model counts
+// with and without in-solver elimination over random XOR systems mixed
+// with a few CNF clauses.
+func TestGaussModelCountEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 30; round++ {
+		n := 5 + rng.Intn(5)
+		rows := 1 + rng.Intn(n)
+		type xr struct {
+			vars []int
+			rhs  bool
+		}
+		var xrs []xr
+		for i := 0; i < rows; i++ {
+			var vars []int
+			for v := 1; v <= n; v++ {
+				if rng.Intn(2) == 0 {
+					vars = append(vars, v)
+				}
+			}
+			if len(vars) == 0 {
+				vars = []int{1 + rng.Intn(n)}
+			}
+			xrs = append(xrs, xr{vars, rng.Intn(2) == 0})
+		}
+		var cls [][]int
+		for i := 0; i < 2; i++ {
+			a := 1 + rng.Intn(n)
+			b := 1 + rng.Intn(n)
+			cls = append(cls, []int{a, -b})
+		}
+		build := func(gauss bool) *Solver {
+			s := New(n)
+			s.EnableGauss = gauss
+			for _, x := range xrs {
+				mustAddXor(t, s, x.vars, x.rhs)
+			}
+			for _, c := range cls {
+				mustAdd(t, s, c...)
+			}
+			return s
+		}
+		proj := make([]int, n)
+		for i := range proj {
+			proj[i] = i + 1
+		}
+		plain := build(false)
+		gauss := build(true)
+		nPlain, okPlain, err1 := plain.CountModels(proj, 0)
+		nGauss, okGauss, err2 := gauss.CountModels(proj, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("round %d: errors %v / %v", round, err1, err2)
+		}
+		if !okPlain || !okGauss || nPlain != nGauss {
+			t.Fatalf("round %d: plain %d (done=%v) vs gauss %d (done=%v)",
+				round, nPlain, okPlain, nGauss, okGauss)
+		}
+	}
+}
+
+// TestGaussAssumingEquivalence runs assumption queries against the
+// same XOR system with elimination on and off.
+func TestGaussAssumingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 20; round++ {
+		n := 6 + rng.Intn(4)
+		var sys [][]int
+		var rhs []bool
+		for i := 0; i < n-2; i++ {
+			var vars []int
+			for v := 1; v <= n; v++ {
+				if rng.Intn(2) == 0 {
+					vars = append(vars, v)
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			sys = append(sys, vars)
+			rhs = append(rhs, rng.Intn(2) == 0)
+		}
+		plain, gauss := New(n), New(n)
+		gauss.EnableGauss = true
+		for i, vars := range sys {
+			mustAddXor(t, plain, vars, rhs[i])
+			mustAddXor(t, gauss, vars, rhs[i])
+		}
+		for q := 0; q < 10; q++ {
+			var assumps []int
+			for v := 1; v <= n; v++ {
+				if rng.Intn(3) == 0 {
+					if rng.Intn(2) == 0 {
+						assumps = append(assumps, v)
+					} else {
+						assumps = append(assumps, -v)
+					}
+				}
+			}
+			a := plain.SolveAssuming(assumps)
+			b := gauss.SolveAssuming(assumps)
+			if a != b {
+				t.Fatalf("round %d query %d (%v): plain %v, gauss %v", round, q, assumps, a, b)
+			}
+		}
+	}
+}
+
+// TestGaussDeterministic asserts elimination and the search after it
+// are reproducible: two identical solvers produce identical counters.
+func TestGaussDeterministic(t *testing.T) {
+	build := func() *Solver {
+		s := New(12)
+		s.EnableGauss = true
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 8; i++ {
+			var vars []int
+			for v := 1; v <= 12; v++ {
+				if rng.Intn(2) == 0 {
+					vars = append(vars, v)
+				}
+			}
+			if len(vars) == 0 {
+				vars = []int{1}
+			}
+			mustAddXor(t, s, vars, rng.Intn(2) == 0)
+		}
+		mustAdd(t, s, 1, 2, 3)
+		return s
+	}
+	a, b := build(), build()
+	stA, stB := a.Solve(), b.Solve()
+	if stA != stB {
+		t.Fatalf("status %v vs %v", stA, stB)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverge:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+// TestGaussCloneAfterElimination checks a clone taken after an
+// elimination carries the reduced system faithfully.
+func TestGaussCloneAfterElimination(t *testing.T) {
+	s := New(3)
+	mustAddXor(t, s, []int{1, 2}, true)
+	mustAddXor(t, s, []int{1, 2, 3}, true)
+	s.EnableGauss = true
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	c := s.Clone()
+	if st := c.SolveAssuming([]int{3}); st != Unsat {
+		t.Fatalf("clone lost reduced row x3=0: %v", st)
+	}
+	if st := c.SolveAssuming([]int{-3}); st != Sat {
+		t.Fatalf("clone over-constrained: %v", st)
+	}
+}
+
+func mustAddXor(t *testing.T, s *Solver, vars []int, rhs bool) {
+	t.Helper()
+	if err := s.AddXorClause(vars, rhs); err != nil {
+		t.Fatal(err)
+	}
+}

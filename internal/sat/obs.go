@@ -24,6 +24,13 @@ const (
 	MetricSolveNS       = "sat.solve.ns"
 	MetricSolveCalls    = "sat.solve.calls"
 	MetricEnumModels    = "sat.enumerate.models"
+	// Incremental-solving metrics: SolveAssuming calls, in-solver XOR
+	// Gaussian eliminations and the level-0 units they derived, and a
+	// gauge of learned clauses retained across calls in a reused solver.
+	MetricAssumptionSolves = "sat.solve.assuming"
+	MetricGaussRuns        = "sat.gauss.runs"
+	MetricGaussUnits       = "sat.gauss.units"
+	MetricLearnedRetained  = "sat.learned.retained"
 
 	// Parallel-driver metrics: cube fan-out, sibling cancellations and
 	// whole-call latency of the cube-split engines.
@@ -68,6 +75,11 @@ type obsInstruments struct {
 	solveUnknown *obs.Counter
 	solveCalls   *obs.Counter
 	solveNS      *obs.Histogram
+
+	assumptionSolves *obs.Counter
+	gaussRuns        *obs.Counter
+	gaussUnits       *obs.Counter
+	learnedRetained  *obs.Gauge
 }
 
 // instruments returns the cached instrument set for the solver's
@@ -93,6 +105,11 @@ func (s *Solver) instruments() *obsInstruments {
 		solveUnknown:  r.Counter(MetricSolveUnknown),
 		solveCalls:    r.Counter(MetricSolveCalls),
 		solveNS:       r.Histogram(MetricSolveNS),
+
+		assumptionSolves: r.Counter(MetricAssumptionSolves),
+		gaussRuns:        r.Counter(MetricGaussRuns),
+		gaussUnits:       r.Counter(MetricGaussUnits),
+		learnedRetained:  r.Gauge(MetricLearnedRetained),
 	}
 	return s.obsCache
 }
@@ -113,6 +130,12 @@ func (s *Solver) flushObs(before Stats, d time.Duration, st Status) {
 	in.learnedPruned.Add(after.LearnedPruned - before.LearnedPruned)
 	in.learnedLits.Add(after.LearnedLits - before.LearnedLits)
 	in.xorProps.Add(after.XorProps - before.XorProps)
+	in.assumptionSolves.Add(after.AssumptionSolves - before.AssumptionSolves)
+	in.gaussRuns.Add(after.GaussRuns - before.GaussRuns)
+	in.gaussUnits.Add(after.GaussUnits - before.GaussUnits)
+	// The learned-clause DB carried into the NEXT call of a reused
+	// solver is exactly what survives this one.
+	in.learnedRetained.Set(int64(len(s.learnts)))
 	in.solveCalls.Inc()
 	in.solveNS.ObserveDuration(d)
 	switch st {

@@ -380,16 +380,51 @@ func (s *Solver) detachClause(c *clause) {
 // instrumented, so the nil-Obs path costs exactly one pointer check.
 func (s *Solver) Solve() Status {
 	if s.Obs == nil {
-		return s.solve()
+		return s.solveWith(nil)
 	}
 	before := s.Stats
 	start := time.Now()
-	st := s.solve()
+	st := s.solveWith(nil)
 	s.flushObs(before, time.Since(start), st)
 	return st
 }
 
-func (s *Solver) solve() Status {
+// SolveAssuming solves the formula under the given assumption literals
+// (DIMACS form). The assumptions are planted as the decisions of levels
+// 1..len(assumptions) and fully retracted before the call returns, so
+// the solver — including every learned clause and all heuristic state —
+// stays reusable for the next query. Unsat means "unsatisfiable under
+// these assumptions": the formula itself is untouched and later calls
+// with different assumptions may be Sat. After Sat, Model and Value
+// read the captured satisfying assignment even though the trail has
+// been unwound.
+func (s *Solver) SolveAssuming(assumptions []int) Status {
+	before := s.Stats
+	s.Stats.AssumptionSolves++
+	for _, x := range assumptions {
+		v := x
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 {
+			panic("sat: zero literal")
+		}
+		s.grow(v)
+	}
+	assumps := make([]lit, len(assumptions))
+	for i, x := range assumptions {
+		assumps[i] = extToLit(x)
+	}
+	if s.Obs == nil {
+		return s.solveWith(assumps)
+	}
+	start := time.Now()
+	st := s.solveWith(assumps)
+	s.flushObs(before, time.Since(start), st)
+	return st
+}
+
+func (s *Solver) solveWith(assumps []lit) Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -401,6 +436,17 @@ func (s *Solver) solve() Status {
 		s.ok = false
 		return Unsat
 	}
+	if s.EnableGauss {
+		if !s.gaussEliminate() {
+			s.ok = false
+			return Unsat
+		}
+	}
+	s.assumps = assumps
+	defer func() {
+		s.assumps = nil
+		s.cancelUntil(0)
+	}()
 
 	var restartN int64
 	conflictBudget := int64(-1)
@@ -476,8 +522,29 @@ func (s *Solver) search(conflictLimit int64, budget *int64, maxLearnts *int64) (
 			s.cancelUntil(0)
 			return Unknown, true
 		}
+		// Plant pending assumptions before any free decision: assumps[i]
+		// is the decision of level i+1, so a backjump below an assumption
+		// level replants it here on the way back up.
+		if dl := s.decisionLevel(); dl < len(s.assumps) {
+			p := s.assumps[dl]
+			switch s.valueLit(p) {
+			case valTrue:
+				// Already implied: open a dummy level so the indices of
+				// the remaining assumptions stay aligned with levels.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case valFalse:
+				// Unsat under these assumptions — the formula itself is
+				// untouched, so ok stays true and the solver reusable.
+				return Unsat, true
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(p, reason{})
+			}
+			continue
+		}
 		next, ok := s.pickBranchLit()
 		if !ok {
+			s.captureModel()
 			return Sat, true // all variables assigned
 		}
 		s.Stats.Decisions++

@@ -127,6 +127,12 @@ type Stats struct {
 	// learned-clause length is LearnedLits / Learned.
 	LearnedLits int64
 	XorProps    int64
+	// AssumptionSolves counts SolveAssuming calls; GaussRuns counts
+	// in-solver XOR Gaussian eliminations and GaussUnits the level-0
+	// unit assignments those eliminations derived.
+	AssumptionSolves int64
+	GaussRuns        int64
+	GaussUnits       int64
 }
 
 // Solver is a CDCL SAT solver with XOR clauses. The zero value is not
@@ -158,6 +164,31 @@ type Solver struct {
 
 	seen       []bool
 	analyzeBuf []lit
+
+	// model is the assignment captured at the most recent Sat result.
+	// Model and Value read it, so SolveAssuming can retract its
+	// assumptions before returning without losing the model.
+	model []int8
+
+	// assumps is the active assumption prefix of a SolveAssuming call:
+	// assumps[i] is planted as the decision of level i+1, so a backjump
+	// (or restart) below an assumption replants it before any free
+	// decision is made. Empty outside SolveAssuming.
+	assumps []lit
+
+	// guarded tracks removable clauses by their guard variable (see
+	// AddGuardedClause/DropGuard).
+	guarded map[int32][]*clause
+
+	// EnableGauss turns on the in-solver XOR Gaussian elimination: at
+	// the start of a solve the XOR rows are row-reduced over GF(2)
+	// (folding in level-0 assignments), and the reduced rows replace
+	// the originals in the watch scheme. gaussXors/gaussTrail remember
+	// what the last elimination saw so it only reruns when the rows or
+	// the level-0 trail changed materially.
+	EnableGauss bool
+	gaussXors   int
+	gaussTrail  int
 
 	ok bool // false once a top-level conflict is found
 
@@ -454,13 +485,24 @@ func (s *Solver) cancelUntil(lvl int) {
 	s.qhead = len(s.trail)
 }
 
+// captureModel snapshots the current (total) assignment as the model
+// of the last Sat result, so Model and Value stay readable after
+// SolveAssuming retracts its assumptions.
+func (s *Solver) captureModel() {
+	s.model = append(s.model[:0], s.assigns...)
+}
+
 // Model returns the satisfying assignment found by the last successful
 // Solve, indexed 1..n: Model()[v] reports variable v's value. Index 0
 // is unused.
 func (s *Solver) Model() []bool {
 	m := make([]bool, s.numVars+1)
 	for v := 0; v < s.numVars; v++ {
-		m[v+1] = s.assigns[v] == valTrue
+		if v < len(s.model) {
+			m[v+1] = s.model[v] == valTrue
+		} else {
+			m[v+1] = s.assigns[v] == valTrue
+		}
 	}
 	return m
 }
@@ -474,7 +516,131 @@ func (s *Solver) Value(v int) bool {
 	if v < 1 || v > s.numVars {
 		return false
 	}
+	if v <= len(s.model) {
+		return s.model[v-1] == valTrue
+	}
 	return s.assigns[v-1] == valTrue
+}
+
+// AddGuardedClause adds the clause (¬sel ∨ lits...) and records it
+// under the guard variable sel so DropGuard(sel) can remove it later.
+// Guarded clauses are only active while sel is assumed true (via
+// SolveAssuming), which is how enumeration blocking clauses avoid
+// permanently over-constraining a reused solver: a finished
+// enumeration drops its guard and the clause database is exactly what
+// it was before.
+//
+// If every non-guard literal is already false at level 0, the clause
+// degenerates to the unit ¬sel: the guard itself is refuted, which
+// ends that enumeration without touching the rest of the formula.
+func (s *Solver) AddGuardedClause(sel int, extLits ...int) error {
+	if sel <= 0 {
+		return fmt.Errorf("sat: guard variable %d must be positive", sel)
+	}
+	maxVar := sel
+	for _, x := range extLits {
+		v := x
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 {
+			panic("sat: zero literal")
+		}
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	s.grow(maxVar)
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	if !s.ok {
+		return nil
+	}
+	guard := extToLit(-sel)
+	if s.valueLit(guard) == valTrue {
+		return nil // selector already retired at level 0
+	}
+	lits := make([]lit, 0, len(extLits)+1)
+	lits = append(lits, guard)
+	seenLit := map[lit]bool{guard: true}
+	for _, x := range extLits {
+		l := extToLit(x)
+		switch s.valueLit(l) {
+		case valTrue:
+			return nil // satisfied at level 0
+		case valFalse:
+			continue
+		}
+		if seenLit[l.not()] {
+			return nil // tautology
+		}
+		if !seenLit[l] {
+			seenLit[l] = true
+			lits = append(lits, l)
+		}
+	}
+	if len(lits) == 1 {
+		// Only the guard survives: retire the selector at level 0.
+		s.uncheckedEnqueue(guard, reason{})
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: lits}
+	if s.guarded == nil {
+		s.guarded = map[int32][]*clause{}
+	}
+	s.guarded[int32(sel-1)] = append(s.guarded[int32(sel-1)], c)
+	s.attachClause(c)
+	return nil
+}
+
+// DropGuard detaches and discards every clause added under the guard
+// variable sel. It backtracks to level 0 first, so no dropped clause
+// can be the reason of a live assignment above level 0; level-0
+// reasons that pointed at a dropped clause are cleared defensively
+// (conflict analysis never dereferences level-0 reasons, but a stale
+// pointer should not outlive its clause).
+func (s *Solver) DropGuard(sel int) {
+	if sel <= 0 || sel > s.numVars || s.guarded == nil {
+		return
+	}
+	cs := s.guarded[int32(sel-1)]
+	if len(cs) == 0 {
+		return
+	}
+	s.cancelUntil(0)
+	delete(s.guarded, int32(sel-1))
+	dropped := make(map[*clause]bool, len(cs))
+	for _, c := range cs {
+		s.detachClause(c)
+		dropped[c] = true
+	}
+	for v := range s.reasons {
+		if s.reasons[v].kind == reasonClause && dropped[s.reasons[v].cls] {
+			s.reasons[v] = reason{}
+		}
+	}
+}
+
+// acquireSelector hands out a fresh guard selector variable. Selectors
+// are single-use: conflict analysis that touches a guarded clause
+// (¬sel ∨ …) carries ¬sel into the learned clause, so the learnt DB
+// holds clauses that are only formula-implied while sel is false —
+// reusing the variable for a later enumeration would re-arm them as
+// phantom blocking clauses. retireSelector pins sel false instead.
+func (s *Solver) acquireSelector() int {
+	return s.NewVar()
+}
+
+// retireSelector permanently retires an enumeration selector after
+// DropGuard. The unit ¬sel satisfies every learned clause derived from
+// the selector's guarded clauses, which is exactly what makes
+// physically dropping those clauses sound.
+func (s *Solver) retireSelector(sel int) {
+	_ = s.AddClause(-sel)
 }
 
 // Clone returns an independent deep copy of the solver that shares no
@@ -527,6 +693,23 @@ func (s *Solver) Clone() *Solver {
 		n.learnts = append(n.learnts, nc)
 		n.attachClause(nc)
 	}
+	if len(s.guarded) > 0 {
+		n.guarded = make(map[int32][]*clause, len(s.guarded))
+		for sel, cs := range s.guarded {
+			ncs := make([]*clause, 0, len(cs))
+			for _, c := range cs {
+				nc := &clause{lits: append([]lit(nil), c.lits...)}
+				ncs = append(ncs, nc)
+				n.attachClause(nc)
+			}
+			n.guarded[sel] = ncs
+		}
+	}
+	n.model = append([]int8(nil), s.model...)
+	n.EnableGauss = s.EnableGauss
+	n.gaussXors = s.gaussXors
+	n.gaussTrail = s.gaussTrail
+
 	n.xorWatches = make([][]*xorClause, s.numVars)
 	n.xors = make([]*xorClause, 0, len(s.xors))
 	for _, x := range s.xors {

@@ -264,6 +264,22 @@ func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, 
 		}
 	}
 
+	if limit < 0 {
+		limit = 0 // reconstruct's "exhaustive"
+	}
+
+	// Incremental path: answer from the session's warm solver (or a
+	// clone of its prototype when the warm one is busy). Queries the
+	// session cannot express — k beyond its ladder, a constraint that
+	// cannot be selector-guarded — fall through to the one-shot path.
+	if !s.cfg.DisableIncremental {
+		res, handled, err := s.solveIncremental(ctx, sess, entry, constraints, limit, countOnly)
+		if handled {
+			return res, err
+		}
+		s.obs.Counter(MetricSessionFallback).Inc()
+	}
+
 	enc, err := sess.encoding()
 	if err != nil {
 		return solveResult{}, badRequest("encoding: %v", err)
@@ -278,19 +294,72 @@ func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, 
 		}
 		return solveResult{}, err
 	}
-	if limit < 0 {
-		limit = 0 // reconstruct's "exhaustive"
-	}
 	sigs, exhausted, err := rec.EnumerateWithin(ctx.Done(), limit)
 	if err != nil {
-		switch {
-		case errors.Is(err, sat.ErrInterrupted):
-			return solveResult{}, s.deadlineError(ctx.Err())
-		case errors.Is(err, sat.ErrBudget):
-			return solveResult{}, &httpError{code: http.StatusServiceUnavailable, msg: "solver conflict budget exhausted"}
-		}
-		return solveResult{}, err
+		return solveResult{}, s.solveError(ctx, err)
 	}
+	return s.solveResultFrom(sigs, exhausted, countOnly), nil
+}
+
+// solveIncremental answers a query on the session's retained solver.
+// handled=false means the query is outside what the incremental
+// session supports and the caller must use the one-shot path.
+func (s *Server) solveIncremental(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, limit int, countOnly bool) (solveResult, bool, error) {
+	proto, err := sess.incremental(reconstruct.SessionOptions{
+		MaxK:         s.cfg.SessionMaxK,
+		MaxConflicts: s.cfg.MaxConflicts,
+		Obs:          s.obs,
+	})
+	if err != nil {
+		// The encoding itself failed to build; the one-shot path will
+		// surface the same error with its usual mapping.
+		return solveResult{}, false, nil
+	}
+	if entry.TP.Width() != proto.TPWidth() || !proto.Supports(entry.K) {
+		return solveResult{}, false, nil
+	}
+
+	// Prefer the warm solver; when another request holds it, run on a
+	// throwaway clone of the (never-queried) prototype instead of
+	// queueing behind the busy one.
+	var qsess *reconstruct.Session
+	if sess.liveMu.TryLock() {
+		defer sess.liveMu.Unlock()
+		qsess = sess.live
+		s.obs.Counter(MetricSessionReuse).Inc()
+	} else {
+		qsess = proto.Clone()
+		s.obs.Counter(MetricSessionClone).Inc()
+	}
+
+	sigs, exhausted, err := qsess.EnumerateWithin(ctx.Done(), entry, constraints, limit)
+	if err != nil {
+		if errors.Is(err, core.ErrKRange) || errors.Is(err, core.ErrWidth) {
+			return solveResult{}, false, nil
+		}
+		if !errors.Is(err, sat.ErrInterrupted) && !errors.Is(err, sat.ErrBudget) {
+			// Constraint the session cannot guard (e.g. XOR-emitting):
+			// fall back rather than fail the request.
+			return solveResult{}, false, nil
+		}
+		return solveResult{}, true, s.solveError(ctx, err)
+	}
+	return s.solveResultFrom(sigs, exhausted, countOnly), true, nil
+}
+
+// solveError maps enumeration errors to HTTP semantics, shared by the
+// incremental and one-shot paths.
+func (s *Server) solveError(ctx context.Context, err error) error {
+	switch {
+	case errors.Is(err, sat.ErrInterrupted):
+		return s.deadlineError(ctx.Err())
+	case errors.Is(err, sat.ErrBudget):
+		return &httpError{code: http.StatusServiceUnavailable, msg: "solver conflict budget exhausted"}
+	}
+	return err
+}
+
+func (s *Server) solveResultFrom(sigs []core.Signal, exhausted, countOnly bool) solveResult {
 	res := solveResult{Count: len(sigs), Exhausted: exhausted}
 	if !countOnly {
 		res.Candidates = make([]string, len(sigs))
@@ -300,7 +369,7 @@ func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, 
 			res.Changes[i] = sig.Changes()
 		}
 	}
-	return res, nil
+	return res
 }
 
 // deadlineError maps a context error to the HTTP layer: an expired

@@ -76,6 +76,14 @@ const (
 	// sessions.
 	MetricSolves   = "service.solves"
 	MetricSessions = "service.sessions"
+	// Incremental-session counters: solves answered by the retained
+	// warm solver (reuse), solves that found it busy and ran on a
+	// clone of the session prototype instead, and solves that fell
+	// back to a fresh one-shot instance (unsupported k, constraint the
+	// session cannot guard, or incremental solving disabled).
+	MetricSessionReuse    = "service.session.reuse"
+	MetricSessionClone    = "service.session.clone"
+	MetricSessionFallback = "service.session.fallback"
 	// SpanSolve times the solve path (queue wait excluded); SpanRequest
 	// times whole requests including queueing and serialization.
 	SpanSolve   = "service.solve"
@@ -112,6 +120,13 @@ type Config struct {
 	// MaxSessions bounds the session table (default 256); least
 	// recently used sessions are evicted beyond it.
 	MaxSessions int
+	// SessionMaxK caps the change counts the incremental per-session
+	// solver encodes its cardinality ladder for (default 16); entries
+	// with larger k fall back to a one-shot instance.
+	SessionMaxK int
+	// DisableIncremental turns off per-session solver reuse: every
+	// solve builds a fresh SAT instance (ablation/debug).
+	DisableIncremental bool
 	// Obs receives the service metrics; nil disables instrumentation
 	// (every layer below tolerates that).
 	Obs *obs.Registry
@@ -144,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 256
+	}
+	if c.SessionMaxK <= 0 {
+		c.SessionMaxK = 16
 	}
 	return c
 }

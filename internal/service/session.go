@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/encoding"
 	"repro/internal/obs"
+	"repro/internal/reconstruct"
 )
 
 // EncodingSpec names an encoding (and the trace parameters of the
@@ -121,18 +122,49 @@ func (sp EncodingSpec) build() (*encoding.Encoding, error) {
 }
 
 // session is the per-(m, b, encoding, ClockHz/Epoch) state shared by
-// requests: the lazily built encoding. The sync.Once makes concurrent
-// first requests for a new spec build it exactly once.
+// requests: the lazily built encoding plus, for incremental solving,
+// a retained warm solver. The sync.Onces make concurrent first
+// requests build each exactly once.
 type session struct {
 	spec EncodingSpec
 	once sync.Once
 	enc  *encoding.Encoding
 	err  error
+
+	// Incremental solving state. proto is a prototype
+	// reconstruct.Session that is NEVER queried — queries would push
+	// and pop its trail, racing concurrent Clones — so cloning it is a
+	// pure read and safe from any number of requests at once. live is
+	// the warm solver that accumulates learned clauses across queries;
+	// liveMu makes its use single-flight, and a request that finds it
+	// busy clones proto instead of queueing.
+	recOnce  sync.Once
+	proto    *reconstruct.Session
+	protoErr error
+	liveMu   sync.Mutex
+	live     *reconstruct.Session
 }
 
 func (s *session) encoding() (*encoding.Encoding, error) {
 	s.once.Do(func() { s.enc, s.err = s.spec.build() })
 	return s.enc, s.err
+}
+
+// incremental returns the session prototype solver, building it (and
+// the retained live clone) on first use.
+func (s *session) incremental(opts reconstruct.SessionOptions) (*reconstruct.Session, error) {
+	s.recOnce.Do(func() {
+		enc, err := s.encoding()
+		if err != nil {
+			s.protoErr = err
+			return
+		}
+		s.proto, s.protoErr = reconstruct.NewSession(enc, opts)
+		if s.protoErr == nil {
+			s.live = s.proto.Clone()
+		}
+	})
+	return s.proto, s.protoErr
 }
 
 // sessionTable is a bounded LRU of sessions keyed by the canonical

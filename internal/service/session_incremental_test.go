@@ -1,0 +1,90 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// Sequential distinct queries against one encoding session must all be
+// answered by the incremental path — the warm retained solver — with
+// zero fallbacks to one-shot instances.
+func TestIncrementalSessionCounters(t *testing.T) {
+	_, base, reg := startServer(t, Config{Workers: 2}, 0)
+	queries := [][]int{{3, 7}, {2, 11}, {5, 9}}
+	for i, changes := range queries {
+		wire, _ := testLog(t, 16, 9, changes...)
+		q := "scheme=incremental&depth=4&limit=-1"
+		if i == 2 {
+			q += "&properties=mingap(2)"
+		}
+		resp, body, err := postWire(base, wire, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("query %d: status %d (%v)", i, resp.StatusCode, body)
+		}
+		results := body["results"].([]any)
+		r0 := results[0].(map[string]any)
+		if r0["exhausted"] != true || r0["count"].(float64) < 1 {
+			t.Fatalf("query %d: result %v", i, r0)
+		}
+	}
+	snap := reg.Snapshot()
+	reuse, clone := snap.Counters[MetricSessionReuse], snap.Counters[MetricSessionClone]
+	if reuse+clone != int64(len(queries)) {
+		t.Fatalf("reuse=%d clone=%d, want sum %d", reuse, clone, len(queries))
+	}
+	if fb := snap.Counters[MetricSessionFallback]; fb != 0 {
+		t.Fatalf("fallbacks = %d, want 0", fb)
+	}
+	if snap.Counters[sat.MetricAssumptionSolves] == 0 {
+		t.Fatal("no assumption solves recorded")
+	}
+}
+
+// A change count beyond the session ladder falls back to the one-shot
+// path and still answers correctly.
+func TestIncrementalFallbackOnLargeK(t *testing.T) {
+	_, base, reg := startServer(t, Config{SessionMaxK: 2}, 0)
+	wire, _ := testLog(t, 16, 9, 2, 5, 9) // k = 3 > SessionMaxK
+	resp, body, err := postWire(base, wire, "scheme=incremental&depth=4&limit=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d (%v)", resp.StatusCode, body)
+	}
+	r0 := body["results"].([]any)[0].(map[string]any)
+	if r0["exhausted"] != true || r0["count"].(float64) < 1 {
+		t.Fatalf("result %v", r0)
+	}
+	snap := reg.Snapshot()
+	if fb := snap.Counters[MetricSessionFallback]; fb != 1 {
+		t.Fatalf("fallbacks = %d, want 1", fb)
+	}
+	if n := snap.Counters[MetricSessionReuse] + snap.Counters[MetricSessionClone]; n != 0 {
+		t.Fatalf("incremental solves = %d, want 0", n)
+	}
+}
+
+// DisableIncremental routes everything through the one-shot path
+// without even counting fallbacks.
+func TestIncrementalDisabled(t *testing.T) {
+	_, base, reg := startServer(t, Config{DisableIncremental: true}, 0)
+	wire, _ := testLog(t, 16, 9, 3, 7)
+	resp, body, err := postWire(base, wire, "scheme=incremental&depth=4&limit=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d (%v)", resp.StatusCode, body)
+	}
+	snap := reg.Snapshot()
+	for _, m := range []string{MetricSessionReuse, MetricSessionClone, MetricSessionFallback} {
+		if v := snap.Counters[m]; v != 0 {
+			t.Fatalf("%s = %d with incremental disabled", m, v)
+		}
+	}
+}
