@@ -13,7 +13,13 @@ SESSION_GUARD    = BenchmarkSessionQueries
 SESSION_BASELINE = BENCH_PR6.json
 SESSION_FLAGS    = -run='^$$' -bench='$(SESSION_GUARD)' -count=5 -benchtime=1x .
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record metrics-smoke timeprintd service-smoke
+# The cost-model dispatcher benchmark and its baseline (PR7): a
+# rank-pinned/small-k request mix, auto-routing vs always-SAT.
+DISPATCH_GUARD    = BenchmarkDispatch
+DISPATCH_BASELINE = BENCH_PR7.json
+DISPATCH_FLAGS    = -run='^$$' -bench='$(DISPATCH_GUARD)' -count=5 -benchtime=1x .
+
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check metrics-smoke timeprintd service-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -65,6 +71,22 @@ session-bench:
 
 session-bench-record:
 	$(GO) test $(SESSION_FLAGS) | $(GO) run ./cmd/benchdiff -record -out $(SESSION_BASELINE) -note "count=5 benchtime=1x $(SESSION_GUARD)"
+
+# dispatch-bench guards the cost-model routing win (PR7): rerun
+# BenchmarkDispatch and fail if either side's median slowed >30%
+# against BENCH_PR7.json. dispatch-bench-record refreshes that
+# baseline. dispatch-check is the CI job: vet, the dispatcher/oracle
+# test surface under the race detector, then the benchmark guard.
+dispatch-bench:
+	$(GO) test $(DISPATCH_FLAGS) | $(GO) run ./cmd/benchdiff -baseline $(DISPATCH_BASELINE) -threshold 0.30
+
+dispatch-bench-record:
+	$(GO) test $(DISPATCH_FLAGS) | $(GO) run ./cmd/benchdiff -record -out $(DISPATCH_BASELINE) -note "count=5 benchtime=1x $(DISPATCH_GUARD)"
+
+dispatch-check:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 -run 'Dispatch|Route|Oracle|Classify|Strict|Session|Incremental' ./internal/reconstruct/ ./internal/service/
+	$(MAKE) dispatch-bench
 
 # metrics-smoke exercises the observability contract end to end: a
 # selfcheck run dumps a -metrics snapshot, metricscheck validates the

@@ -7,6 +7,7 @@
 package timeprints_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -193,8 +194,8 @@ func BenchmarkAblationCardinality(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, exhausted := rec.Enumerate(10); !exhausted && false {
-					b.Fatal("unreachable")
+				if _, _, err := rec.EnumerateStrict(10); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})
@@ -225,7 +226,9 @@ func BenchmarkAblationXor(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rec.Enumerate(10)
+				if _, _, err := rec.EnumerateStrict(10); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -245,7 +248,9 @@ func BenchmarkAblationSATvsBruteForce(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rec.Enumerate(0)
+			if _, _, err := rec.EnumerateStrict(0); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("bruteforce", func(b *testing.B) {
@@ -318,7 +323,10 @@ func BenchmarkParallelWorkers(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sigs, exhausted := rec.EnumerateParallel(0, workers)
+				sigs, exhausted, err := rec.EnumerateParallelStrict(0, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if !exhausted {
 					b.Fatal("enumeration not exhausted")
 				}
@@ -345,7 +353,10 @@ func BenchmarkAblationLIDepth(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sigs, _ := rec.Enumerate(0)
+				sigs, _, err := rec.EnumerateStrict(0)
+				if err != nil {
+					b.Fatal(err)
+				}
 				total = len(sigs)
 			}
 			b.ReportMetric(float64(total), "candidates")
@@ -421,11 +432,68 @@ func BenchmarkSessionQueries(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sigs, _ := rec.Enumerate(1)
+				sigs, _, err := rec.EnumerateStrict(1)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(sigs) == 0 {
 					b.Fatal("no witness")
 				}
 			}
 		}
 	})
+}
+
+// BenchmarkDispatch is the cost-model routing headline: a mix of
+// requests a debug frontend actually sends — rank-pinned one-hot
+// queries (nullity 0, answerable by elimination alone) and small-k
+// postmortem queries (algebraic decode territory) — pushed through the
+// dispatcher with auto-routing versus pinned to always-SAT. Auto must
+// hold a >= 2x advantage: pinned systems never touch the solver and
+// k <= 4 never builds a CNF. The benchdiff guard records both sides in
+// BENCH_PR7.json (make dispatch-bench).
+func BenchmarkDispatch(b *testing.B) {
+	onehot := encoding.OneHot(96)
+	inc, err := bench.CachedEncoding("incremental", 128, bench.PaperB[128], 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type request struct {
+		enc   *encoding.Encoding
+		entry core.LogEntry
+	}
+	var mix []request
+	for i := 0; i < 6; i++ {
+		mix = append(mix, request{onehot, core.Log(onehot, core.SignalFromChanges(96, i, i+7, i+20, i+41))})
+		mix = append(mix, request{inc, core.Log(inc, core.SignalFromChanges(128, i+2, i+13, i+55))})
+	}
+	for _, mode := range []struct {
+		name  string
+		force string
+	}{
+		{"auto", "auto"},
+		{"always-sat", "sat"},
+	} {
+		dispatchers := map[*encoding.Encoding]*reconstruct.Dispatcher{}
+		for _, e := range []*encoding.Encoding{onehot, inc} {
+			d, err := reconstruct.NewDispatcher(e, reconstruct.DispatchOptions{Force: mode.force})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dispatchers[e] = d
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, req := range mix {
+					sigs, exhausted, err := dispatchers[req.enc].Enumerate(context.Background(), req.entry, nil, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !exhausted || len(sigs) == 0 {
+						b.Fatalf("got %d candidates (exhausted=%v)", len(sigs), exhausted)
+					}
+				}
+			}
+		})
+	}
 }

@@ -26,14 +26,17 @@
 // selfcheck runs the internal/diffcheck trust harness: a seeded corpus
 // of randomized (encoding, entry) cases pushed through every
 // reconstruction oracle (algebraic decode, serial SAT, parallel SAT
-// portfolio, GF(2) brute force, exhaustive concretization) with all
-// pairs of solution sets compared, followed by fault injection into
+// portfolio, incremental session, GF(2) brute force, exhaustive
+// concretization, and the cost-model dispatcher that routes between
+// them) with all pairs of solution sets compared, followed by fault
+// injection into
 // timeprint logs asserting every corruption fails closed. It exits
 // nonzero on any divergence; the printed CaseSpec reproduces a
 // divergence independently of the corpus.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -282,6 +285,7 @@ func cmdReconstruct(args []string) {
 	paired := fs.Bool("paired", false, "changes come in adjacent pairs")
 	propSpec := fs.String("prop", "", "property expression, e.g. \"mingap(3); dk(32,3)\"")
 	parallel := fs.Int("parallel", 1, "cube-split solver workers (1 = serial, 0 = GOMAXPROCS)")
+	oracle := fs.String("oracle", "auto", "backend: auto (cost-model routing), sat, sat-par, sat-inc, decode, brute or exhaustive")
 	obsSetup := obsFlags(fs)
 	_ = fs.Parse(args)
 	enc := newEncoding(*m, *b)
@@ -326,16 +330,17 @@ func cmdReconstruct(args []string) {
 		props = append(props, p)
 	}
 
-	rec, err := timeprints.NewReconstructor(enc, entry, props, timeprints.Options{Obs: reg})
+	disp, err := timeprints.NewDispatcher(enc, timeprints.DispatchOptions{
+		Force:   *oracle,
+		Workers: *parallel,
+		Obs:     reg,
+	})
 	if err != nil {
 		fail(err)
 	}
-	var sigs []timeprints.Signal
-	var complete bool
-	if *parallel > 1 {
-		sigs, complete = rec.EnumerateParallel(*limit, *parallel)
-	} else {
-		sigs, complete = rec.Enumerate(*limit)
+	sigs, complete, err := disp.Enumerate(context.Background(), entry, props, *limit)
+	if err != nil {
+		fail(err)
 	}
 	for _, s := range sigs {
 		fmt.Printf("%s  changes=%v\n", s, s.Changes())

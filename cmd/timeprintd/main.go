@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/obs"
+	"repro/internal/reconstruct"
 	"repro/internal/service"
 )
 
@@ -51,8 +52,13 @@ func main() {
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget after SIGTERM")
 	sessionMaxK := fs.Int("session-maxk", 16, "largest change count the per-session incremental solver encodes; larger k falls back to one-shot solves")
 	noIncremental := fs.Bool("no-incremental", false, "disable per-session solver reuse; every solve builds a fresh SAT instance (ablation)")
+	oracle := fs.String("oracle", "auto", "reconstruction backend: auto (cost-model routing), sat, sat-par, sat-inc, decode, brute or exhaustive")
 	smoke := fs.Bool("smoke", false, "run an end-to-end smoke test against an in-process server and exit")
 	_ = fs.Parse(os.Args[1:])
+	if !reconstruct.KnownOracle(*oracle) {
+		fmt.Fprintf(os.Stderr, "timeprintd: unknown -oracle %q (want auto|sat|sat-par|sat-inc|decode|brute|exhaustive)\n", *oracle)
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	core.SetObserver(reg)
@@ -68,6 +74,7 @@ func main() {
 		DrainTimeout:       *drain,
 		SessionMaxK:        *sessionMaxK,
 		DisableIncremental: *noIncremental,
+		Oracle:             *oracle,
 		Obs:                reg,
 	}
 
@@ -197,6 +204,26 @@ func runSmoke(cfg service.Config, reg *obs.Registry) error {
 		return fmt.Errorf("repeat request was not served from cache: %v", r0)
 	}
 
+	// A property-bearing request: under auto-routing this takes the
+	// incremental SAT session (k=3 is too small for brute force at this
+	// nullity and the property bars the algebraic decoder), so it also
+	// proves solver instrumentation flows through the registry.
+	propTarget := target + "&properties=mingap(1)"
+	withProp, err := post(propTarget, "application/octet-stream", wire.Bytes())
+	if err != nil {
+		return err
+	}
+	r0 = withProp["results"].([]any)[0].(map[string]any)
+	found = false
+	for _, c := range r0["candidates"].([]any) {
+		if c.(string) == truth.String() {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("true signal %s not among property-constrained candidates %v", truth, r0["candidates"])
+	}
+
 	// Count through the JSON job-spec path.
 	countJob, _ := json.Marshal(map[string]any{
 		"encoding": map[string]any{"scheme": "incremental", "m": m, "b": b},
@@ -245,14 +272,28 @@ func runSmoke(cfg service.Config, reg *obs.Registry) error {
 	}
 	for counter, want := range map[string]int64{
 		service.MetricCacheHits:      1,
-		service.MetricCacheMisses:    2, // reconstruct miss + count miss
-		service.MetricSolves:         2,
-		service.MetricReqReconstruct: 2,
+		service.MetricCacheMisses:    3, // reconstruct + property reconstruct + count
+		service.MetricSolves:         3,
+		service.MetricReqReconstruct: 3,
 		service.MetricReqCount:       1,
 		service.MetricReqCompare:     1,
 	} {
 		if got := snap.Counters[counter]; got != want {
 			return fmt.Errorf("counter %s = %d, want %d (snapshot %v)", counter, got, want, snap.Counters)
+		}
+	}
+	// Routing contract under the default auto oracle: the two plain
+	// k=3 queries go to the algebraic decoder, the property-bearing one
+	// to the incremental session, and nothing mispredicts.
+	if cfg.Oracle == "" || cfg.Oracle == "auto" {
+		if got := snap.Counters[reconstruct.MetricDispatchChosenPrefix+"decode"]; got != 2 {
+			return fmt.Errorf("dispatch chose decode %d times, want 2 (snapshot %v)", got, snap.Counters)
+		}
+		if got := snap.Counters[reconstruct.MetricDispatchChosenPrefix+"sat-inc"]; got != 1 {
+			return fmt.Errorf("dispatch chose sat-inc %d times, want 1 (snapshot %v)", got, snap.Counters)
+		}
+		if got := snap.Counters[reconstruct.MetricDispatchFallback]; got != 0 {
+			return fmt.Errorf("dispatch fallbacks = %d, want 0", got)
 		}
 	}
 	if snap.Counters["sat.solve.calls"] == 0 {

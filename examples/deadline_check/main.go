@@ -80,7 +80,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cands, complete := recAll.Enumerate(0)
+		cands, complete, err := recAll.EnumerateStrict(0)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if !complete {
 			log.Fatal("enumeration incomplete")
 		}

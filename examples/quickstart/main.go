@@ -45,7 +45,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sigs, _ := rec.Enumerate(0)
+		sigs, _, err := rec.EnumerateStrict(0)
+		if err != nil {
+			log.Fatal(err)
+		}
 		anyK += len(sigs)
 	}
 	fmt.Printf("Signals whose timestamps sum to TP (any k): %d\n", anyK)
@@ -55,7 +58,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	withK, _ := rec.Enumerate(0)
+	withK, _, err := rec.EnumerateStrict(0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Candidates with k = %d: %d\n", entry.K, len(withK))
 	for _, s := range withK {
 		fmt.Printf("  %s\n", s)
@@ -68,7 +74,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	unique, _ := rec2.Enumerate(0)
+	unique, _, err := rec2.EnumerateStrict(0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nWith the paired-changes property: %d candidate(s)\n", len(unique))
 	for _, s := range unique {
 		fmt.Printf("  %s  (matches actual: %v)\n", s, s.Equal(actual))

@@ -92,7 +92,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cands, complete := rec.Enumerate(5)
+	cands, complete, err := rec.EnumerateStrict(5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ntrace-cycle %d: TP=%s k=%d\n", tc, entries[tc].TP, entries[tc].K)
 	fmt.Printf("reconstruction (first %d candidates, exhausted=%v):\n", len(cands), complete)
 	for _, s := range cands {
@@ -124,7 +127,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cands2, complete2 := rec2.Enumerate(10)
+	cands2, complete2, err := rec2.EnumerateStrict(10)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nwith verified properties (MinGap 5, exactly 2 changes per timer period):\n")
 	fmt.Printf("candidates (exhausted=%v):\n", complete2)
 	for _, s := range cands2 {

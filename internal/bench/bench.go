@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -167,7 +168,12 @@ func RunQuery(enc *encoding.Encoding, entry core.LogEntry, q Query, maxConflicts
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
-	sigs, exhausted := rec.Enumerate(q.Limit)
+	sigs, exhausted, enumErr := rec.EnumerateStrict(q.Limit)
+	if enumErr != nil && !errors.Is(enumErr, sat.ErrBudget) {
+		// A budget expiry is an expected Table-1 outcome (the TimedOut
+		// cell below); anything else is a harness bug.
+		panic(fmt.Sprintf("bench: %v", enumErr))
+	}
 	cell := Cell{
 		Duration:  time.Since(start),
 		Solutions: len(sigs),
@@ -408,7 +414,10 @@ func Figure4() (Figure4Result, error) {
 	if err != nil {
 		return res, err
 	}
-	sigs, _ := rec.Enumerate(0)
+	sigs, _, err := rec.EnumerateStrict(0)
+	if err != nil {
+		return res, err
+	}
 	res.WithProperty = len(sigs)
 	return res, nil
 }

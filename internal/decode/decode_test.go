@@ -1,4 +1,8 @@
-package decode
+// Package decode_test is an external test package: it cross-checks the
+// algebraic decoder against the reconstruct oracles, and reconstruct
+// itself imports decode (the dispatcher's decode route), so an internal
+// test package would form an import cycle.
+package decode_test
 
 import (
 	"errors"
@@ -7,6 +11,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/decode"
 	"repro/internal/encoding"
 	"repro/internal/reconstruct"
 )
@@ -23,8 +28,8 @@ func mustEnc(t testing.TB, m, b, d int) *encoding.Encoding {
 func TestDecodeMatchesSATAllK(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	enc := mustEnc(t, 48, 12, 4)
-	dec := New(enc)
-	for k := 0; k <= MaxK; k++ {
+	dec := decode.New(enc)
+	for k := 0; k <= decode.MaxK; k++ {
 		for trial := 0; trial < 10; trial++ {
 			// Random weight-k signal.
 			perm := r.Perm(48)[:k]
@@ -39,7 +44,10 @@ func TestDecodeMatchesSATAllK(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			satSigs, exhausted := rec.Enumerate(0)
+			satSigs, exhausted, err := rec.EnumerateStrict(0)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !exhausted {
 				t.Fatal("SAT not exhausted")
 			}
@@ -68,7 +76,7 @@ func TestDecodeMatchesSATAllK(t *testing.T) {
 
 func TestDecodeZeroK(t *testing.T) {
 	enc := mustEnc(t, 16, 8, 4)
-	dec := New(enc)
+	dec := decode.New(enc)
 	// Quiet trace-cycle: exactly the empty signal.
 	sigs, err := dec.Decode(core.Log(enc, core.NewSignal(16)))
 	if err != nil || len(sigs) != 1 || sigs[0].K() != 0 {
@@ -83,7 +91,7 @@ func TestDecodeZeroK(t *testing.T) {
 
 func TestDecodeRejectsLargeK(t *testing.T) {
 	enc := mustEnc(t, 16, 8, 4)
-	dec := New(enc)
+	dec := decode.New(enc)
 	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(8), K: 5}); err == nil {
 		t.Error("k=5 accepted")
 	}
@@ -97,7 +105,7 @@ func TestLI4GivesUniqueUpToK2(t *testing.T) {
 	// uniquely: two distinct subsets of size <= 2 XORing equal would
 	// form a dependent set of size <= 4.
 	enc := mustEnc(t, 64, 13, 4)
-	dec := New(enc)
+	dec := decode.New(enc)
 	for i := 0; i < 64; i++ {
 		for j := i + 1; j < 64; j += 7 {
 			entry := core.Log(enc, core.SignalFromChanges(64, i, j))
@@ -119,7 +127,7 @@ func TestBinaryEncodingAmbiguous(t *testing.T) {
 	// The plain binary encoding is only LI-2: weight-2 signals often
 	// collide with other weight-2 signals (1^2 = 3 etc.).
 	enc := encoding.Binary(16)
-	dec := New(enc)
+	dec := decode.New(enc)
 	entry := core.Log(enc, core.SignalFromChanges(16, 0, 1)) // TS 1^2 = 3
 	sigs, err := dec.Decode(entry)
 	if err != nil {
@@ -132,7 +140,7 @@ func TestBinaryEncodingAmbiguous(t *testing.T) {
 
 func TestProfile(t *testing.T) {
 	enc := mustEnc(t, 32, 11, 4)
-	dec := New(enc)
+	dec := decode.New(enc)
 	r := rand.New(rand.NewSource(3))
 	var sigs []core.Signal
 	for i := 0; i < 50; i++ {
@@ -147,7 +155,7 @@ func TestProfile(t *testing.T) {
 		t.Fatalf("profile %+v", p)
 	}
 	// One-hot: everything unique.
-	oh := New(encoding.OneHot(16))
+	oh := decode.New(encoding.OneHot(16))
 	var ohSigs []core.Signal
 	for i := 0; i < 10; i++ {
 		ohSigs = append(ohSigs, core.SignalFromChanges(16, r.Perm(16)[:3]...))
@@ -181,19 +189,11 @@ func TestWeakEncodingsHighKMatchBruteForce(t *testing.T) {
 	for _, tc := range encs {
 		enc := tc.enc
 		m := enc.M()
-		dec := New(enc)
+		dec := decode.New(enc)
 		// Confirm the encoding is genuinely weak: some pairwise XOR must
 		// collide, otherwise this test is not exercising the multi-pair
 		// paths.
-		dec.buildPairs()
-		collides := false
-		for _, ps := range dec.pairs {
-			if len(ps) > 1 {
-				collides = true
-				break
-			}
-		}
-		if !collides {
+		if !dec.HasPairCollisions() {
 			t.Fatalf("%s: no pairwise collisions — test encoding too strong", tc.name)
 		}
 		for k := 3; k <= 4; k++ {
@@ -257,8 +257,8 @@ func TestCountMatchesDecodeLen(t *testing.T) {
 		mustEnc(t, 32, 11, 4),
 		mustEnc(t, 48, 12, 4),
 	} {
-		dec := New(enc)
-		for k := 0; k <= MaxK; k++ {
+		dec := decode.New(enc)
+		for k := 0; k <= decode.MaxK; k++ {
 			for trial := 0; trial < 8; trial++ {
 				entry := core.Log(enc, core.SignalFromChanges(enc.M(), r.Perm(enc.M())[:k]...))
 				sigs, err := dec.Decode(entry)
@@ -278,11 +278,11 @@ func TestCountMatchesDecodeLen(t *testing.T) {
 }
 
 func TestDecodeTypedErrors(t *testing.T) {
-	dec := New(mustEnc(t, 16, 8, 4))
+	dec := decode.New(mustEnc(t, 16, 8, 4))
 	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(9), K: 1}); !errors.Is(err, core.ErrWidth) {
 		t.Errorf("decode width: %v", err)
 	}
-	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(8), K: MaxK + 1}); !errors.Is(err, core.ErrKRange) {
+	if _, err := dec.Decode(core.LogEntry{TP: bitvec.New(8), K: decode.MaxK + 1}); !errors.Is(err, core.ErrKRange) {
 		t.Errorf("decode k: %v", err)
 	}
 	if _, err := dec.Count(core.LogEntry{TP: bitvec.New(9), K: 1}); !errors.Is(err, core.ErrWidth) {
@@ -296,11 +296,11 @@ func TestDecodeTypedErrors(t *testing.T) {
 // BenchmarkCount vs BenchmarkDecodeForCount: the satellite fix makes
 // Count enumerate index sets without materializing signals, string keys
 // or sorting. Run with -bench 'Count|DecodeForCount' to compare.
-func benchEntry(b *testing.B) (*Decoder, core.LogEntry) {
+func benchEntry(b *testing.B) (*decode.Decoder, core.LogEntry) {
 	b.Helper()
 	enc := encoding.Binary(24) // weak: thousands of k=4 candidates
 	r := rand.New(rand.NewSource(17))
-	return New(enc), core.Log(enc, core.SignalFromChanges(24, r.Perm(24)[:4]...))
+	return decode.New(enc), core.Log(enc, core.SignalFromChanges(24, r.Perm(24)[:4]...))
 }
 
 func BenchmarkCount(b *testing.B) {
@@ -333,7 +333,7 @@ func BenchmarkDecodeForCount(b *testing.B) {
 
 func TestDecodeDeterministicOrder(t *testing.T) {
 	enc := encoding.Binary(12)
-	dec := New(enc)
+	dec := decode.New(enc)
 	entry := core.Log(enc, core.SignalFromChanges(12, 0, 1))
 	a, _ := dec.Decode(entry)
 	b, _ := dec.Decode(entry)

@@ -1,0 +1,15 @@
+package decode
+
+// HasPairCollisions exposes the pairwise-XOR index to the external test
+// package: it reports whether any TS(i)^TS(j) value is produced by more
+// than one pair, i.e. the encoding is weak enough to exercise the
+// multi-pair decomposition paths.
+func (d *Decoder) HasPairCollisions() bool {
+	d.buildPairs()
+	for _, ps := range d.pairs {
+		if len(ps) > 1 {
+			return true
+		}
+	}
+	return false
+}

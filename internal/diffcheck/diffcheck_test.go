@@ -25,7 +25,7 @@ func TestRunSmallCorpusAgrees(t *testing.T) {
 	}
 	// Every oracle family must have participated: the sweep includes
 	// small m (exhaustive), k <= 4 (decode), and everything runs sat.
-	for _, name := range []string{"decode", "sat", "sat-inc", "sat-par-2", "brute", "exhaustive"} {
+	for _, name := range []string{"decode", "sat", "sat-inc", "sat-par-2", "brute", "exhaustive", "dispatch"} {
 		if rep.PerOracle[name] == 0 {
 			t.Errorf("oracle %s never ran:\n%s", name, rep.Summary())
 		}

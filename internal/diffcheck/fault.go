@@ -259,7 +259,11 @@ func injectEntryCorruption(rep *FaultReport, enc *encoding.Encoding, ref *trace.
 				rep.failf("%s: reconstruct.New rejected a well-formed entry: %v", what, err)
 				return
 			}
-			sigs, exhausted := r.Enumerate(0)
+			sigs, exhausted, err := r.EnumerateStrict(0)
+			if err != nil {
+				rep.failf("%s: enumeration failed: %v", what, err)
+				return
+			}
 			if !exhausted {
 				rep.failf("%s: enumeration not exhausted", what)
 				return

@@ -1,6 +1,7 @@
 package diffcheck
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -39,6 +40,9 @@ type oracle struct {
 //   - sat-par-N:  cube-split parallel portfolio with N workers
 //   - brute:      GF(2) coset enumeration, nullity-bounded
 //   - exhaustive: 2^m concretization (internal/core), m <= 16
+//   - dispatch:   the cost-model router itself — whatever backend it
+//     picks must agree with all of the above, so routing mistakes are
+//     caught by the corpus
 //
 // sat-first-par additionally races the parallel first-solution driver
 // and checks membership of its answer in the serial set (it cannot be
@@ -77,7 +81,10 @@ func buildOracles(workers []int, reg *obs.Registry) []oracle {
 				if err != nil {
 					return nil, err
 				}
-				sigs, exhausted := r.Enumerate(0)
+				sigs, exhausted, err := r.EnumerateStrict(0)
+				if err != nil {
+					return nil, err
+				}
 				if !exhausted {
 					return nil, fmt.Errorf("serial enumeration not exhausted")
 				}
@@ -136,6 +143,24 @@ func buildOracles(workers []int, reg *obs.Registry) []oracle {
 				return core.Concretize(enc, entry), nil
 			},
 		},
+		{
+			name:    "dispatch",
+			applies: func(CaseSpec) bool { return true },
+			run: func(enc *encoding.Encoding, entry core.LogEntry) ([]core.Signal, error) {
+				disp, err := reconstruct.NewDispatcher(enc, reconstruct.DispatchOptions{Workers: 2, Obs: reg})
+				if err != nil {
+					return nil, err
+				}
+				sigs, exhausted, err := disp.Enumerate(context.Background(), entry, nil, 0)
+				if err != nil {
+					return nil, err
+				}
+				if !exhausted {
+					return nil, fmt.Errorf("dispatch enumeration not exhausted")
+				}
+				return sigs, nil
+			},
+		},
 	}
 	for _, w := range workers {
 		w := w
@@ -147,7 +172,10 @@ func buildOracles(workers []int, reg *obs.Registry) []oracle {
 				if err != nil {
 					return nil, err
 				}
-				sigs, exhausted := r.EnumerateParallel(0, w)
+				sigs, exhausted, err := r.EnumerateParallelStrict(0, w)
+				if err != nil {
+					return nil, err
+				}
 				if !exhausted {
 					return nil, fmt.Errorf("parallel enumeration (workers=%d) not exhausted", w)
 				}

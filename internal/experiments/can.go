@@ -257,9 +257,12 @@ func RunCAN(cfg CANConfig) (*CANResult, error) {
 		var sigs []core.Signal
 		var exhausted bool
 		if cfg.Parallel > 1 {
-			sigs, exhausted = rec.EnumerateParallel(0, cfg.Parallel)
+			sigs, exhausted, err = rec.EnumerateParallelStrict(0, cfg.Parallel)
 		} else {
-			sigs, exhausted = rec.Enumerate(0)
+			sigs, exhausted, err = rec.EnumerateStrict(0)
+		}
+		if err != nil {
+			return nil, 0, err
 		}
 		if !exhausted {
 			return nil, 0, fmt.Errorf("experiments: CAN enumeration not exhausted")

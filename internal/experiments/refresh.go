@@ -260,7 +260,10 @@ func localizeDelay(enc *encoding.Encoding, hwSt *trace.Store, refs, hwRefs []cor
 		if err != nil {
 			return loc, err
 		}
-		cands, exhausted := rec.Enumerate(0)
+		cands, exhausted, err := rec.EnumerateStrict(0)
+		if err != nil {
+			return loc, err
+		}
 		if !exhausted {
 			return loc, fmt.Errorf("experiments: localization enumeration not exhausted")
 		}

@@ -1,6 +1,7 @@
 package reconstruct
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -56,25 +57,41 @@ type NegatableProperty struct {
 
 // Classify decides a property against a log entry with two SAT
 // queries: candidates∧P (does anything satisfy it?) and candidates∧¬P
-// (does anything violate it?).
+// (does anything violate it?). Both polarities are checked against ONE
+// Reconstructor — the O(m³) A-structure encoding is built once and
+// each polarity is activated as a guarded clause group (CheckUnder) —
+// instead of paying for two full instances. A solver budget or
+// interrupt expiring mid-check yields Undecided with a nil error;
+// structural failures (malformed entry, a constraint that fails to
+// encode) propagate as errors.
 func Classify(enc *encoding.Encoding, entry core.LogEntry, p NegatableProperty, opts Options) (Verdict, error) {
 	if p.Prop == nil || p.Negation == nil {
 		return Inconclusive, fmt.Errorf("reconstruct: Classify needs both the property and its negation")
 	}
+	rec, err := New(enc, entry, nil, opts)
+	if err != nil {
+		return Inconclusive, err
+	}
 	check := func(c Constraint) (sat.Status, error) {
-		rec, err := New(enc, entry, []Constraint{c}, opts)
-		if err != nil {
-			return sat.Unknown, err
+		st, err := rec.CheckUnder(c)
+		if err != nil && errors.Is(err, ErrUnsupported) {
+			// The constraint emits clauses that cannot be selector-guarded
+			// (XOR): pay for a dedicated instance, the pre-sharing path.
+			one, nerr := New(enc, entry, []Constraint{c}, opts)
+			if nerr != nil {
+				return sat.Unknown, nerr
+			}
+			return one.Check(), nil
 		}
-		return rec.Check(), nil
+		return st, err
 	}
 	satisfiers, err := check(p.Prop)
 	if err != nil {
-		return Inconclusive, err
+		return classifyError(err)
 	}
 	violators, err := check(p.Negation)
 	if err != nil {
-		return Inconclusive, err
+		return classifyError(err)
 	}
 	switch {
 	case satisfiers == sat.Unknown || violators == sat.Unknown:
@@ -88,4 +105,16 @@ func Classify(enc *encoding.Encoding, entry core.LogEntry, p NegatableProperty, 
 	default:
 		return Inconclusive, nil
 	}
+}
+
+// classifyError distinguishes resource exhaustion from structural
+// failure: a budget or interrupt mid-check means the verdict is merely
+// Undecided (not an error — callers can retry with a larger budget),
+// while anything else (bad entry shape, unencodable constraint)
+// propagates.
+func classifyError(err error) (Verdict, error) {
+	if errors.Is(err, sat.ErrBudget) || errors.Is(err, sat.ErrInterrupted) {
+		return Undecided, nil
+	}
+	return Inconclusive, err
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/obs"
 	"repro/internal/properties"
 )
 
@@ -25,7 +26,10 @@ func classifyRef(t *testing.T, enc *encoding.Encoding, entry core.LogEntry, p pr
 	if err != nil {
 		t.Fatal(err)
 	}
-	sigs, exhausted := rec.Enumerate(0)
+	sigs, exhausted, err := rec.EnumerateStrict(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !exhausted {
 		t.Fatal("oracle enumeration incomplete")
 	}
@@ -103,6 +107,57 @@ func TestClassifyNeedsNegation(t *testing.T) {
 	entry := core.Log(enc, core.SignalFromChanges(16, 1))
 	if _, err := Classify(enc, entry, NegatableProperty{Prop: properties.Dk{D: 8, K: 1}}, Options{}); err == nil {
 		t.Error("missing negation accepted")
+	}
+}
+
+// Both polarities of a verdict must be decided against ONE SAT
+// instance: the O(m³) A-structure encoding is built once and the
+// polarities toggle as guarded clause groups. Regression for the
+// Classify-calls-New-twice bug.
+func TestClassifyBuildsOneInstance(t *testing.T) {
+	enc, err := encoding.Incremental(16, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := core.Log(enc, core.SignalFromChanges(16, 2, 3, 9))
+	reg := obs.NewRegistry()
+	got, err := Classify(enc, entry, negatable(t, properties.Dk{D: 8, K: 1}), Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := classifyRef(t, enc, entry, properties.Dk{D: 8, K: 1}); got != want {
+		t.Fatalf("verdict %v, oracle %v", got, want)
+	}
+	if n := reg.Snapshot().Counters[MetricInstances]; n != 1 {
+		t.Fatalf("%s = %d, want 1 (both polarities must share one Reconstructor)", MetricInstances, n)
+	}
+}
+
+// A solver budget expiring mid-check is not an error — the verdict is
+// merely Undecided. Regression for the everything-maps-to-Inconclusive
+// bug.
+func TestClassifyBudgetUndecided(t *testing.T) {
+	enc, err := encoding.Incremental(64, 13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := core.Log(enc, core.SignalFromChanges(64, 3, 11, 20, 31, 40, 44, 51, 60))
+	got, err := Classify(enc, entry, negatable(t, properties.Dk{D: 32, K: 4}), Options{MaxConflicts: 1})
+	if err != nil {
+		t.Fatalf("budget expiry surfaced as an error: %v", err)
+	}
+	if got != Undecided {
+		t.Fatalf("verdict %v, want Undecided under a 1-conflict budget", got)
+	}
+}
+
+// Structural failures still propagate: a malformed entry is an error,
+// never a quiet Inconclusive.
+func TestClassifyStructuralErrorPropagates(t *testing.T) {
+	enc, _ := encoding.Incremental(16, 9, 4)
+	entry := core.LogEntry{TP: bitvec.FromOnes(5, 0), K: 1} // wrong width
+	if _, err := Classify(enc, entry, negatable(t, properties.Dk{D: 8, K: 1}), Options{}); err == nil {
+		t.Error("malformed entry classified without error")
 	}
 }
 

@@ -285,9 +285,23 @@ func (r *Reconstructor) model() core.Signal {
 // returns the signals and whether the candidate space was exhausted.
 // Each signal is verified against the log entry before being returned;
 // a mismatch indicates a solver bug and panics.
+//
+// Deprecated: Enumerate drops the enumeration error, so a search
+// stopped by Options.MaxConflicts or an interrupt looks like an
+// ordinary truncated result (exhausted=false) with no way to tell it
+// from a limit stop. Use EnumerateStrict, which fails closed.
 func (r *Reconstructor) Enumerate(limit int) ([]core.Signal, bool) {
 	out, exhausted, _ := r.enumerate(limit)
 	return out, exhausted
+}
+
+// EnumerateStrict is Enumerate with the error contract: the error
+// wraps sat.ErrBudget when Options.MaxConflicts ran out and
+// sat.ErrInterrupted when the solver was interrupted. The signals
+// found before the stop are valid either way, but only a nil error
+// permits any completeness claim.
+func (r *Reconstructor) EnumerateStrict(limit int) ([]core.Signal, bool, error) {
+	return r.enumerate(limit)
 }
 
 // EnumerateWithin is Enumerate with cooperative cancellation: closing
@@ -332,6 +346,45 @@ func (r *Reconstructor) Check() sat.Status {
 	return r.builder.S.Solve()
 }
 
+// CheckUnder decides Check with one extra constraint activated only
+// for this query: c is encoded once under a fresh guard selector and
+// asserted by assumption, then retired, so a single Reconstructor —
+// one O(m³)-encoding A-structure build — answers many property checks
+// (Classify asks P and ¬P against the same instance). Unknown carries
+// an error wrapping sat.ErrBudget or sat.ErrInterrupted. A constraint
+// that cannot be selector-guarded (XOR-emitting) returns an error
+// wrapping ErrUnsupported; callers fall back to a dedicated instance.
+func (r *Reconstructor) CheckUnder(c Constraint) (st sat.Status, err error) {
+	sel := r.builder.NewVar()
+	defer func() {
+		if p := recover(); p != nil {
+			r.builder.Guard = 0
+			st = sat.Unknown
+			err = fmt.Errorf("reconstruct: constraint %s cannot be guard-encoded: %v: %w", c, p, ErrUnsupported)
+		}
+	}()
+	r.builder.Guard = sel
+	aerr := c.Apply(r.builder, r.vars)
+	r.builder.Guard = 0
+	if aerr != nil {
+		return sat.Unknown, fmt.Errorf("reconstruct: constraint %s: %w", c, aerr)
+	}
+	st = r.builder.S.SolveAssuming([]int{sel})
+	// Retire the group: a permanent unit ¬sel deactivates c's clauses
+	// (and any learnts carrying ¬sel) for every later query on this
+	// instance.
+	if aerr := r.builder.S.AddClause(-sel); aerr != nil {
+		return sat.Unknown, fmt.Errorf("reconstruct: retiring constraint %s: %w", c, aerr)
+	}
+	if st == sat.Unknown {
+		if r.builder.S.Interrupted() {
+			return st, fmt.Errorf("reconstruct: check interrupted: %w", sat.ErrInterrupted)
+		}
+		return st, fmt.Errorf("reconstruct: check exceeded the conflict budget: %w", sat.ErrBudget)
+	}
+	return st, nil
+}
+
 // Stats exposes the presolve outcome and the underlying solver
 // counters.
 func (r *Reconstructor) Stats() Stats {
@@ -364,7 +417,21 @@ func (r *Reconstructor) signalFromModel(model sat.Model) core.Signal {
 // subset of the candidates, deterministic for a given worker count
 // but possibly a different subset than serial enumeration finds
 // first (each cube stops early at its own first limit models).
+//
+// Deprecated: EnumerateParallel folds budget and interrupt stops into
+// exhausted=false, indistinguishable from a limit stop. Use
+// EnumerateParallelStrict, which fails closed.
 func (r *Reconstructor) EnumerateParallel(limit, workers int) ([]core.Signal, bool) {
+	out, exhausted, _ := r.EnumerateParallelStrict(limit, workers)
+	return out, exhausted
+}
+
+// EnumerateParallelStrict is EnumerateParallel with the error
+// contract: an Unknown portfolio outcome — some cube ran out of
+// conflict budget or was interrupted — returns an error wrapping
+// sat.ErrBudget (or sat.ErrInterrupted when this instance's solver was
+// interrupted) instead of masquerading as a truncated result.
+func (r *Reconstructor) EnumerateParallelStrict(limit, workers int) ([]core.Signal, bool, error) {
 	defer r.obs.StartSpan(SpanEnumerate).End()
 	models, st := sat.ParallelEnumerate(r.builder.S, r.vars, limit, sat.ParallelOptions{Workers: workers})
 	out := make([]core.Signal, 0, len(models))
@@ -372,7 +439,13 @@ func (r *Reconstructor) EnumerateParallel(limit, workers int) ([]core.Signal, bo
 		out = append(out, r.signalFromModel(m))
 	}
 	r.obs.Counter(MetricCandidates).Add(int64(len(out)))
-	return out, st == sat.Unsat
+	if st == sat.Unknown {
+		if r.builder.S.Interrupted() {
+			return out, false, fmt.Errorf("reconstruct: parallel enumeration interrupted: %w", sat.ErrInterrupted)
+		}
+		return out, false, fmt.Errorf("reconstruct: parallel enumeration exceeded the conflict budget: %w", sat.ErrBudget)
+	}
+	return out, st == sat.Unsat, nil
 }
 
 // FirstParallel races workers cube solvers for one candidate signal
@@ -429,6 +502,6 @@ func CountCandidates(enc *encoding.Encoding, entry core.LogEntry, max int) (int,
 	if err != nil {
 		return 0, false, err
 	}
-	sigs, exhausted := r.Enumerate(max)
-	return len(sigs), exhausted, nil
+	sigs, exhausted, err := r.EnumerateStrict(max)
+	return len(sigs), exhausted, err
 }

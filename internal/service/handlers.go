@@ -242,8 +242,9 @@ func (s *Server) solveEntry(ctx context.Context, sess *session, entry core.LogEn
 	return er, nil
 }
 
-// solve runs the SAT search under admission control and the request
-// deadline.
+// solve answers one query under admission control and the request
+// deadline, routed by the session's dispatcher to the cheapest sound
+// backend (or the one pinned by Config.Oracle).
 func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, limit int, countOnly bool) (solveResult, error) {
 	release, err := s.admit.acquire(ctx)
 	if err != nil {
@@ -268,83 +269,37 @@ func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, 
 		limit = 0 // reconstruct's "exhaustive"
 	}
 
-	// Incremental path: answer from the session's warm solver (or a
-	// clone of its prototype when the warm one is busy). Queries the
-	// session cannot express — k beyond its ladder, a constraint that
-	// cannot be selector-guarded — fall through to the one-shot path.
-	if !s.cfg.DisableIncremental {
-		res, handled, err := s.solveIncremental(ctx, sess, entry, constraints, limit, countOnly)
-		if handled {
-			return res, err
-		}
-		s.obs.Counter(MetricSessionFallback).Inc()
-	}
-
-	enc, err := sess.encoding()
+	disp, err := sess.dispatcher(s.dispatchOptions())
 	if err != nil {
 		return solveResult{}, badRequest("encoding: %v", err)
 	}
-	rec, err := reconstruct.New(enc, entry, constraints, reconstruct.Options{
-		MaxConflicts: s.cfg.MaxConflicts,
-		Obs:          s.obs,
-	})
+	sigs, exhausted, dec, err := disp.EnumerateRouted(ctx, entry, constraints, limit)
+	if dec.Chosen == reconstruct.RouteSession && dec.FellBack {
+		// A solve routed to the incremental session that it could not
+		// express (constraint the session cannot guard) and re-ran on
+		// one-shot SAT.
+		s.obs.Counter(MetricSessionFallback).Inc()
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrWidth) || errors.Is(err, core.ErrKRange) {
 			return solveResult{}, badRequest("%v", err)
 		}
-		return solveResult{}, err
-	}
-	sigs, exhausted, err := rec.EnumerateWithin(ctx.Done(), limit)
-	if err != nil {
 		return solveResult{}, s.solveError(ctx, err)
 	}
 	return s.solveResultFrom(sigs, exhausted, countOnly), nil
 }
 
-// solveIncremental answers a query on the session's retained solver.
-// handled=false means the query is outside what the incremental
-// session supports and the caller must use the one-shot path.
-func (s *Server) solveIncremental(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, limit int, countOnly bool) (solveResult, bool, error) {
-	proto, err := sess.incremental(reconstruct.SessionOptions{
-		MaxK:         s.cfg.SessionMaxK,
-		MaxConflicts: s.cfg.MaxConflicts,
-		Obs:          s.obs,
-	})
-	if err != nil {
-		// The encoding itself failed to build; the one-shot path will
-		// surface the same error with its usual mapping.
-		return solveResult{}, false, nil
+// dispatchOptions renders the server config as the per-session
+// dispatcher configuration.
+func (s *Server) dispatchOptions() reconstruct.DispatchOptions {
+	return reconstruct.DispatchOptions{
+		Force:          s.cfg.Oracle,
+		Workers:        1,
+		SessionMaxK:    s.cfg.SessionMaxK,
+		DisableSession: s.cfg.DisableIncremental,
+		MaxConflicts:   s.cfg.MaxConflicts,
+		Obs:            s.obs,
 	}
-	if entry.TP.Width() != proto.TPWidth() || !proto.Supports(entry.K) {
-		return solveResult{}, false, nil
-	}
-
-	// Prefer the warm solver; when another request holds it, run on a
-	// throwaway clone of the (never-queried) prototype instead of
-	// queueing behind the busy one.
-	var qsess *reconstruct.Session
-	if sess.liveMu.TryLock() {
-		defer sess.liveMu.Unlock()
-		qsess = sess.live
-		s.obs.Counter(MetricSessionReuse).Inc()
-	} else {
-		qsess = proto.Clone()
-		s.obs.Counter(MetricSessionClone).Inc()
-	}
-
-	sigs, exhausted, err := qsess.EnumerateWithin(ctx.Done(), entry, constraints, limit)
-	if err != nil {
-		if errors.Is(err, core.ErrKRange) || errors.Is(err, core.ErrWidth) {
-			return solveResult{}, false, nil
-		}
-		if !errors.Is(err, sat.ErrInterrupted) && !errors.Is(err, sat.ErrBudget) {
-			// Constraint the session cannot guard (e.g. XOR-emitting):
-			// fall back rather than fail the request.
-			return solveResult{}, false, nil
-		}
-		return solveResult{}, true, s.solveError(ctx, err)
-	}
-	return s.solveResultFrom(sigs, exhausted, countOnly), true, nil
 }
 
 // solveError maps enumeration errors to HTTP semantics, shared by the

@@ -75,8 +75,11 @@ func postWire(base string, wire []byte, query string) (*http.Response, map[strin
 // exactly one SAT solve — the leader solves, everyone else coalesces
 // onto its flight or hits the cache it fills.
 func TestConcurrentIdenticalRequestsSolveOnce(t *testing.T) {
+	// The oracle is pinned to SAT so the sat.solve.calls assertion below
+	// stays meaningful (auto-routing would answer this k=2 query with
+	// the algebraic decoder, which has no solver underneath).
 	wire, truth := testLog(t, 16, 9, 3, 7)
-	_, base, reg := startServer(t, Config{Workers: 4}, 500*time.Millisecond)
+	_, base, reg := startServer(t, Config{Workers: 4, Oracle: "sat"}, 500*time.Millisecond)
 
 	const n = 8
 	type outcome struct {

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/reconstruct"
 )
 
 // Metric names published by the service layer.
@@ -77,12 +78,15 @@ const (
 	MetricSolves   = "service.solves"
 	MetricSessions = "service.sessions"
 	// Incremental-session counters: solves answered by the retained
-	// warm solver (reuse), solves that found it busy and ran on a
-	// clone of the session prototype instead, and solves that fell
-	// back to a fresh one-shot instance (unsupported k, constraint the
-	// session cannot guard, or incremental solving disabled).
-	MetricSessionReuse    = "service.session.reuse"
-	MetricSessionClone    = "service.session.clone"
+	// warm solver (reuse) and solves that found it busy and ran on a
+	// clone of the session prototype instead. Both are published by
+	// reconstruct.SessionOracle now that the dispatcher owns the
+	// session pattern; the aliases keep the service's documented names
+	// stable. MetricSessionFallback counts solves routed to the session
+	// that it could not express (unsupported k, constraint the session
+	// cannot guard) and were re-run on one-shot SAT.
+	MetricSessionReuse    = reconstruct.MetricOracleSessionReuse
+	MetricSessionClone    = reconstruct.MetricOracleSessionClone
 	MetricSessionFallback = "service.session.fallback"
 	// SpanSolve times the solve path (queue wait excluded); SpanRequest
 	// times whole requests including queueing and serialization.
@@ -127,6 +131,11 @@ type Config struct {
 	// DisableIncremental turns off per-session solver reuse: every
 	// solve builds a fresh SAT instance (ablation/debug).
 	DisableIncremental bool
+	// Oracle pins every solve to one reconstruction backend ("sat",
+	// "sat-par", "sat-inc", "decode", "brute", "exhaustive"). "" or
+	// "auto" (the default) lets the dispatcher's cost model route each
+	// request to the cheapest sound backend.
+	Oracle string
 	// Obs receives the service metrics; nil disables instrumentation
 	// (every layer below tolerates that).
 	Obs *obs.Registry

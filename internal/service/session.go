@@ -122,27 +122,19 @@ func (sp EncodingSpec) build() (*encoding.Encoding, error) {
 }
 
 // session is the per-(m, b, encoding, ClockHz/Epoch) state shared by
-// requests: the lazily built encoding plus, for incremental solving,
-// a retained warm solver. The sync.Onces make concurrent first
-// requests build each exactly once.
+// requests: the lazily built encoding plus the cost-model dispatcher
+// that owns the per-backend state (decoder pair index, incremental
+// warm solver). The sync.Onces make concurrent first requests build
+// each exactly once.
 type session struct {
 	spec EncodingSpec
 	once sync.Once
 	enc  *encoding.Encoding
 	err  error
 
-	// Incremental solving state. proto is a prototype
-	// reconstruct.Session that is NEVER queried — queries would push
-	// and pop its trail, racing concurrent Clones — so cloning it is a
-	// pure read and safe from any number of requests at once. live is
-	// the warm solver that accumulates learned clauses across queries;
-	// liveMu makes its use single-flight, and a request that finds it
-	// busy clones proto instead of queueing.
-	recOnce  sync.Once
-	proto    *reconstruct.Session
-	protoErr error
-	liveMu   sync.Mutex
-	live     *reconstruct.Session
+	dispOnce sync.Once
+	disp     *reconstruct.Dispatcher
+	dispErr  error
 }
 
 func (s *session) encoding() (*encoding.Encoding, error) {
@@ -150,21 +142,20 @@ func (s *session) encoding() (*encoding.Encoding, error) {
 	return s.enc, s.err
 }
 
-// incremental returns the session prototype solver, building it (and
-// the retained live clone) on first use.
-func (s *session) incremental(opts reconstruct.SessionOptions) (*reconstruct.Session, error) {
-	s.recOnce.Do(func() {
+// dispatcher returns the session's oracle router, building it (and the
+// encoding underneath) on first use. The dispatcher is shared by every
+// request on the session, so the warm incremental solver and the
+// decoder's pair index amortize across the session's lifetime.
+func (s *session) dispatcher(opts reconstruct.DispatchOptions) (*reconstruct.Dispatcher, error) {
+	s.dispOnce.Do(func() {
 		enc, err := s.encoding()
 		if err != nil {
-			s.protoErr = err
+			s.dispErr = err
 			return
 		}
-		s.proto, s.protoErr = reconstruct.NewSession(enc, opts)
-		if s.protoErr == nil {
-			s.live = s.proto.Clone()
-		}
+		s.disp, s.dispErr = reconstruct.NewDispatcher(enc, opts)
 	})
-	return s.proto, s.protoErr
+	return s.disp, s.dispErr
 }
 
 // sessionTable is a bounded LRU of sessions keyed by the canonical

@@ -6,11 +6,13 @@ import (
 	"repro/internal/sat"
 )
 
-// Sequential distinct queries against one encoding session must all be
-// answered by the incremental path — the warm retained solver — with
-// zero fallbacks to one-shot instances.
+// Sequential distinct queries against one encoding session pinned to
+// the incremental backend must all be answered by the warm retained
+// solver, with zero fallbacks to one-shot instances. (The oracle is
+// pinned because auto-routing would send these small instances to the
+// cheaper brute/decode backends.)
 func TestIncrementalSessionCounters(t *testing.T) {
-	_, base, reg := startServer(t, Config{Workers: 2}, 0)
+	_, base, reg := startServer(t, Config{Workers: 2, Oracle: "sat-inc"}, 0)
 	queries := [][]int{{3, 7}, {2, 11}, {5, 9}}
 	for i, changes := range queries {
 		wire, _ := testLog(t, 16, 9, changes...)
@@ -47,7 +49,7 @@ func TestIncrementalSessionCounters(t *testing.T) {
 // A change count beyond the session ladder falls back to the one-shot
 // path and still answers correctly.
 func TestIncrementalFallbackOnLargeK(t *testing.T) {
-	_, base, reg := startServer(t, Config{SessionMaxK: 2}, 0)
+	_, base, reg := startServer(t, Config{SessionMaxK: 2, Oracle: "sat-inc"}, 0)
 	wire, _ := testLog(t, 16, 9, 2, 5, 9) // k = 3 > SessionMaxK
 	resp, body, err := postWire(base, wire, "scheme=incremental&depth=4&limit=-1")
 	if err != nil {

@@ -27,7 +27,7 @@
 //	}
 //	// later, in the postmortem phase:
 //	rec, _ := timeprints.NewReconstructor(enc, entry, nil, timeprints.Options{})
-//	signals, complete := rec.Enumerate(0)
+//	signals, complete, err := rec.EnumerateStrict(0)
 //
 // The subpackages under internal implement the substrates: the SAT
 // solver (internal/sat), F2 linear algebra (internal/gf2), the CAN bus
@@ -69,6 +69,15 @@ type (
 	Reconstructor = reconstruct.Reconstructor
 	// Options tunes the reconstruction SAT encoding.
 	Options = reconstruct.Options
+	// Oracle is the uniform interface over every reconstruction
+	// backend (SAT, algebraic decode, GF(2) brute force, exhaustive
+	// concretization, incremental session, and the dispatcher).
+	Oracle = reconstruct.Oracle
+	// Dispatcher routes each request to the cheapest sound backend
+	// using instance features (m, k, rank, property guardability).
+	Dispatcher = reconstruct.Dispatcher
+	// DispatchOptions tunes the dispatcher's cost model.
+	DispatchOptions = reconstruct.DispatchOptions
 	// Constraint restricts reconstruction candidates; all Property
 	// values implement it.
 	Constraint = reconstruct.Constraint
@@ -179,6 +188,18 @@ func NewReconstructor(enc *Encoding, entry LogEntry, constraints []Constraint, o
 func BruteForce(enc *Encoding, entry LogEntry, limit int) ([]Signal, error) {
 	return reconstruct.BruteForce(enc, entry, limit, 0)
 }
+
+// NewDispatcher builds a cost-model router over all reconstruction
+// backends. Force (DispatchOptions.Force) pins a single backend;
+// "auto" or empty enables feature-based routing.
+func NewDispatcher(enc *Encoding, opts DispatchOptions) (*Dispatcher, error) {
+	return reconstruct.NewDispatcher(enc, opts)
+}
+
+// ErrUnsupported reports that an oracle cannot soundly answer a
+// request (e.g. algebraic decode beyond k=4); the dispatcher uses it
+// to fall back to SAT.
+var ErrUnsupported = reconstruct.ErrUnsupported
 
 // NewStore creates an empty timeprint database for one traced signal.
 func NewStore(name string, clockHz float64, m, b int) *Store {
