@@ -19,7 +19,13 @@ DISPATCH_GUARD    = BenchmarkDispatch
 DISPATCH_BASELINE = BENCH_PR7.json
 DISPATCH_FLAGS    = -run='^$$' -bench='$(DISPATCH_GUARD)' -count=5 -benchtime=1x .
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check metrics-smoke timeprintd service-smoke
+# The tprload latency baseline (PR8): client-side mean latency per
+# request class (hot/cold/batch/stream) from the load harness. The
+# guard threshold is loose (75%) because these are wall-clock HTTP
+# latencies on a shared CI box, not isolated CPU benchmarks.
+LOAD_BASELINE = BENCH_PR8.json
+
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check metrics-smoke timeprintd service-smoke load-smoke load-bench load-bench-record fuzz-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -103,6 +109,29 @@ timeprintd:
 service-smoke:
 	$(GO) run ./cmd/timeprintd -smoke
 	$(GO) test -race -count=1 ./internal/service/
+
+# load-smoke drives a self-contained timeprintd through the tprload
+# request mixes (cache-hot, cold sessions, batch, stream, malformed,
+# overload) and asserts the operational contract: latency SLOs, the
+# shed budget, batch/stream encoding amortization and atomic batch
+# admission. load-bench guards the per-class mean latencies against
+# BENCH_PR8.json; load-bench-record refreshes that baseline.
+load-smoke:
+	$(GO) run ./cmd/tprload -self
+
+load-bench:
+	$(GO) run ./cmd/tprload -self -bench -count 5 | $(GO) run ./cmd/benchdiff -baseline $(LOAD_BASELINE) -threshold 0.75
+
+load-bench-record:
+	$(GO) run ./cmd/tprload -self -bench -count 5 | $(GO) run ./cmd/benchdiff -record -out $(LOAD_BASELINE) -note "tprload -self -bench -count 5, per-class mean latency"
+
+# fuzz-smoke gives each fuzz target a short randomized burst on top of
+# its seeded corpus — cheap enough for CI, still long enough to shake
+# out parser regressions. One invocation per target: go test allows a
+# single -fuzz pattern per package run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadLog -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=10s ./internal/service/
 
 metrics-smoke:
 	$(GO) run ./cmd/timeprint selfcheck -cases 40 -metrics /tmp/timeprint-metrics.json

@@ -42,6 +42,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("timeprintd", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "service listen address")
+	streamAddr := fs.String("stream", "", "streaming-ingest listen address (persistent TCP, empty disables)")
 	obsAddr := fs.String("httpobs", "", "also serve expvar, pprof and live metrics on this address")
 	queue := fs.Int("queue", 64, "admission queue depth before load is shed with 429")
 	workers := fs.Int("workers", 0, "concurrent SAT solves (0 = GOMAXPROCS)")
@@ -65,6 +66,7 @@ func main() {
 	defer core.SetObserver(nil)
 	cfg := service.Config{
 		Addr:               *addr,
+		StreamAddr:         *streamAddr,
 		QueueDepth:         *queue,
 		Workers:            *workers,
 		CacheSize:          *cacheSize,
@@ -94,7 +96,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "timeprintd:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "timeprintd: serving /v1/{reconstruct,count,compare} on http://%s\n", bound)
+	fmt.Fprintf(os.Stderr, "timeprintd: serving /v1/{reconstruct,count,compare,batch} on http://%s\n", bound)
+	if *streamAddr != "" {
+		fmt.Fprintf(os.Stderr, "timeprintd: streaming ingest on %s\n", srv.StreamAddr())
+	}
 	if *obsAddr != "" {
 		oa, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
@@ -124,6 +129,7 @@ func main() {
 // counters through the obs.Serve /metrics endpoint. This is what
 // `make service-smoke` and the service-smoke CI job run.
 func runSmoke(cfg service.Config, reg *obs.Registry) error {
+	cfg.StreamAddr = "127.0.0.1:0"
 	const m, b = 64, 13
 	enc, err := encoding.Incremental(m, b, 4)
 	if err != nil {
@@ -298,6 +304,150 @@ func runSmoke(cfg service.Config, reg *obs.Registry) error {
 	}
 	if snap.Counters["sat.solve.calls"] == 0 {
 		return fmt.Errorf("solver instrumentation missing from /metrics")
+	}
+
+	// Batch and stream phases run after the exact-counter snapshot above
+	// and are asserted as deltas against it, so the unary contract stays
+	// byte-for-byte intact.
+	if err := smokeBatch(base, post); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if err := smokeStream(srv.StreamAddr().String()); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	resp2, err := http.Get("http://" + obsBound.String() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp2.Body.Close()
+	after, err := obs.ParseSnapshot(resp2.Body)
+	if err != nil {
+		return err
+	}
+	for counter, want := range map[string]int64{
+		service.MetricReqBatch:      1,
+		service.MetricBatchJobs:     3,
+		service.MetricBatchShed:     0,
+		service.MetricReqStream:     1,
+		service.MetricStreamFrames:  2,
+		service.MetricStreamEntries: 2,
+		// The amortization witness: one build for the whole batch spec,
+		// one for the whole stream spec.
+		service.MetricEncodingBuilds: 2,
+	} {
+		if got := after.Counters[counter] - snap.Counters[counter]; got != want {
+			return fmt.Errorf("counter %s moved by %d across batch+stream, want %d", counter, got, want)
+		}
+	}
+	return nil
+}
+
+// smokeBatch drives POST /v1/batch: three jobs (a wire log, a
+// count-only twin, a malformed one) against one shared spec, asserting
+// per-job statuses and that the malformed job fails alone.
+func smokeBatch(base string, post func(url, contentType string, body []byte) (map[string]any, error)) error {
+	const m, b = 32, 11
+	enc, err := encoding.Incremental(m, b, 4)
+	if err != nil {
+		return err
+	}
+	truth := core.SignalFromChanges(m, 3, 9)
+	entry := core.Log(enc, truth)
+	var wire bytes.Buffer
+	if err := core.WriteLog(&wire, m, b, []core.LogEntry{entry}); err != nil {
+		return err
+	}
+	body, _ := json.Marshal(map[string]any{
+		"jobs": []any{
+			map[string]any{"log": wire.Bytes(), "limit": -1},
+			map[string]any{"tp": entry.TP.String(), "k": entry.K, "count_only": true},
+			map[string]any{"tp": "10", "k": 1},
+		},
+	})
+	out, err := post(base+"/v1/batch", "application/json", body)
+	if err != nil {
+		return err
+	}
+	jobs := out["jobs"].([]any)
+	if len(jobs) != 3 {
+		return fmt.Errorf("want 3 job results, got %d", len(jobs))
+	}
+	for i, want := range []float64{200, 200, 400} {
+		if got, _ := jobs[i].(map[string]any)["status"].(float64); got != want {
+			return fmt.Errorf("job %d status %v, want %v", i, got, want)
+		}
+	}
+	r0 := jobs[0].(map[string]any)["results"].([]any)[0].(map[string]any)
+	found := false
+	for _, c := range r0["candidates"].([]any) {
+		if c.(string) == truth.String() {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("true signal %s not among batch candidates %v", truth, r0["candidates"])
+	}
+	return nil
+}
+
+// smokeStream drives the streaming-ingest listener: hello, two frames
+// advancing the trace-cycle position, a clean end.
+func smokeStream(addr string) error {
+	const m, b = 16, 9
+	enc, err := encoding.Incremental(m, b, 4)
+	if err != nil {
+		return err
+	}
+	frames := make([][]byte, 2)
+	truth := core.SignalFromChanges(m, 4, 11)
+	for i, sig := range []core.Signal{truth, core.SignalFromChanges(m, 2)} {
+		var wire bytes.Buffer
+		if err := core.WriteLog(&wire, m, b, []core.LogEntry{core.Log(enc, sig)}); err != nil {
+			return err
+		}
+		frames[i] = wire.Bytes()
+	}
+
+	sc, err := service.DialStream(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	ack, err := sc.Hello(service.StreamHello{
+		Device: "smoke", Signal: "net", Encoding: service.EncodingSpec{M: m, B: b}, Limit: -1,
+	})
+	if err != nil {
+		return err
+	}
+	if ack.NextTraceCycle != 0 {
+		return fmt.Errorf("fresh stream starts at trace-cycle %d, want 0", ack.NextTraceCycle)
+	}
+	for i, frame := range frames {
+		msg, err := sc.SendFrame(frame)
+		if err != nil {
+			return err
+		}
+		if msg.Status != 0 || msg.TraceCycleBase != i {
+			return fmt.Errorf("frame %d: status %d base %d", i, msg.Status, msg.TraceCycleBase)
+		}
+		if i == 0 {
+			found := false
+			for _, c := range msg.Results[0].Candidates {
+				if c == truth.String() {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("true signal %s not among stream candidates", truth)
+			}
+		}
+	}
+	done, err := sc.End()
+	if err != nil {
+		return err
+	}
+	if done.Frames != 2 || done.Entries != 2 {
+		return fmt.Errorf("done summary frames=%d entries=%d, want 2/2", done.Frames, done.Entries)
 	}
 	return nil
 }

@@ -1,0 +1,171 @@
+// Command tprload is the timeprintd load-test harness: it drives a
+// server (an external one via -addr, or a self-contained in-process
+// instance via -self) through the internal/load request mixes and
+// asserts the service's operational contract — latency SLOs, shed
+// budget, batch/stream encoding amortization, atomic batch admission,
+// malformed-traffic rejection.
+//
+//	tprload -self                          # CI smoke: spawn + assert
+//	tprload -addr http://host:8080 -stream-addr host:9090
+//	tprload -self -bench -count 5          # emit benchdiff-style lines
+//
+// In -bench mode each run prints `BenchmarkLoad<Class> 1 <mean-ns>
+// ns/op` lines (client-side mean latency per mix) on stdout for
+// cmd/benchdiff, with the human report on stderr; run seeds vary so
+// cold phases stay cold across repeats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	self := flag.Bool("self", false, "spawn an in-process timeprintd and test it")
+	addr := flag.String("addr", "", "external server base URL, e.g. http://127.0.0.1:8080")
+	streamAddr := flag.String("stream-addr", "", "external streaming-ingest address (host:port)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	count := flag.Int("count", 1, "repeat the whole workload this many times")
+	bench := flag.Bool("bench", false, "emit benchdiff-style BenchmarkLoad* lines on stdout")
+
+	cold := flag.Int("cold", 4, "cold phase: distinct session specs")
+	hot := flag.Int("hot", 200, "hot phase: identical requests")
+	hotWorkers := flag.Int("hot-workers", 8, "hot phase concurrency")
+	batches := flag.Int("batches", 4, "batch phase: /v1/batch requests")
+	batchJobs := flag.Int("batch-jobs", 8, "jobs per batch")
+	streamFrames := flag.Int("stream-frames", 4, "stream phase: frames")
+	frameEntries := flag.Int("frame-entries", 4, "entries per stream frame")
+	queueDepth := flag.Int("queue-depth", 0, "server queue depth for the overload probe (0 skips; -self sets it)")
+
+	hotP50 := flag.Duration("hot-p50", 250*time.Millisecond, "SLO: hot-mix p50 budget (0 disables)")
+	hotP99 := flag.Duration("hot-p99", 2*time.Second, "SLO: hot-mix p99 budget (0 disables)")
+	batchP99 := flag.Duration("batch-p99", 30*time.Second, "SLO: batch p99 budget (0 disables)")
+	maxShed := flag.Float64("max-shed-rate", 0, "SLO: shed-rate budget outside the overload probe")
+	flag.Parse()
+
+	report := os.Stdout
+	if *bench {
+		report = os.Stderr
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(report, format+"\n", args...) }
+
+	cfg := load.Config{
+		BaseURL:      *addr,
+		StreamAddr:   *streamAddr,
+		Seed:         *seed,
+		Cold:         *cold,
+		Hot:          *hot,
+		HotWorkers:   *hotWorkers,
+		Batches:      *batches,
+		BatchJobs:    *batchJobs,
+		StreamFrames: *streamFrames,
+		FrameEntries: *frameEntries,
+		QueueDepth:   *queueDepth,
+		SLO: load.SLO{
+			HotP50:      *hotP50,
+			HotP99:      *hotP99,
+			BatchP99:    *batchP99,
+			MaxShedRate: *maxShed,
+		},
+		Logf: logf,
+	}
+
+	if *self {
+		// A self-contained server: ephemeral ports, a small queue so the
+		// overload probe stays cheap, metrics on (the harness scrapes
+		// them).
+		const selfQueueDepth = 16
+		srv := service.New(service.Config{
+			Addr:       "127.0.0.1:0",
+			StreamAddr: "127.0.0.1:0",
+			QueueDepth: selfQueueDepth,
+			Obs:        obs.NewRegistry(),
+		})
+		httpAddr, err := srv.Start()
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		cfg.BaseURL = "http://" + httpAddr.String()
+		cfg.StreamAddr = srv.StreamAddr().String()
+		cfg.QueueDepth = selfQueueDepth
+		logf("tprload: self server on %s (stream %s)", cfg.BaseURL, cfg.StreamAddr)
+	} else if cfg.BaseURL == "" {
+		fatal(fmt.Errorf("need -addr or -self"))
+	}
+
+	failed := 0
+	for run := 0; run < *count; run++ {
+		// Distinct seeds keep every run's cold/batch/stream specs
+		// genuinely cold on the shared server.
+		cfg.Seed = *seed + int64(run)*10000
+		if *count > 1 {
+			logf("=== run %d/%d (seed %d)", run+1, *count, cfg.Seed)
+		}
+		res, err := load.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printReport(report, res)
+		if *bench {
+			printBenchLines(res)
+		}
+		failed += len(res.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tprload: %d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+	logf("tprload: all checks passed")
+}
+
+func printReport(w *os.File, res load.Result) {
+	classes := make([]string, 0, len(res.Classes))
+	for c := range res.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "%-10s %8s %7s %12s %12s %12s\n", "class", "count", "errors", "p50", "p99", "mean")
+	for _, c := range classes {
+		s := res.Classes[c]
+		fmt.Fprintf(w, "%-10s %8d %7d %12v %12v %12v\n", c, s.Count, s.Errors, s.P50, s.P99, s.Mean)
+	}
+	for _, c := range res.Failed() {
+		fmt.Fprintf(w, "FAILED %s: %s\n", c.Name, c.Detail)
+	}
+}
+
+// printBenchLines renders per-class mean latency in `go test -bench`
+// format so cmd/benchdiff can guard it. Means (not bucketed quantiles)
+// keep the guarded number continuous.
+func printBenchLines(res load.Result) {
+	for _, c := range []struct{ class, name string }{
+		{"hot", "LoadHot"},
+		{"cold", "LoadCold"},
+		{"batch", "LoadBatch"},
+		{"stream", "LoadStream"},
+	} {
+		s, ok := res.Classes[c.class]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		fmt.Printf("Benchmark%s\t%d\t%d ns/op\n", c.name, 1, s.Mean.Nanoseconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tprload:", err)
+	os.Exit(1)
+}

@@ -26,6 +26,22 @@ func FuzzReadLog(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x52, 0x50, 0x54}) // magic only
 
+	// Seeds from the corruption-test corpus (wire_strict_test.go): the
+	// k = m boundary that needs the extra counter bit, a nonzero pad
+	// bit in the final payload byte, and trailing framing garbage.
+	var boundary bytes.Buffer
+	if err := WriteLog(&boundary, 16, 8, []LogEntry{
+		{TP: entries[0].TP.Clone(), K: 16}, // k = m
+		{TP: entries[1].TP.Clone(), K: 0},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(boundary.Bytes())
+	padFlip := append([]byte(nil), seed.Bytes()...)
+	padFlip[len(padFlip)-1] ^= 0x80
+	f.Add(padFlip)
+	f.Add(append(append([]byte(nil), seed.Bytes()...), 0xde, 0xad, 0xbe))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, b, got, err := ReadLog(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,585 @@
+// Package load is the tprload harness library: it drives a live
+// timeprintd at configurable request mixes (cache-hot repeats, cold
+// sessions, batch vs. unary, streaming ingest, malformed traffic, an
+// overload probe), measures client-side latency per mix, scrapes the
+// server's /metrics snapshot via obs.ParseSnapshot, and asserts the
+// service's operational contract:
+//
+//   - Latency SLOs (p50/p99 per mix) hold.
+//   - The shed rate outside the deliberate overload probe stays within
+//     budget (default: zero).
+//   - Batch amortization: a batch fan-out of N jobs against one fresh
+//     session spec moves service.encoding.builds by exactly 1.
+//   - Stream amortization: a whole stream of frames likewise builds
+//     exactly one encoding.
+//   - Overload is atomic: a batch that cannot fit the admission queue
+//     is shed whole — 429, no jobs admitted, no solves run.
+//   - Malformed traffic is rejected with 4xx and does not wedge the
+//     server (healthz stays ok).
+//
+// The workload is fully seeded: every TP, change set and spec derives
+// from Config.Seed, so a run is reproducible and distinct seeds keep
+// cold phases genuinely cold across repeated runs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// SLO is the latency/shed budget Run asserts. Zero durations skip the
+// corresponding assertion.
+type SLO struct {
+	HotP50   time.Duration
+	HotP99   time.Duration
+	BatchP99 time.Duration
+	// MaxShedRate bounds shed/(solves+shed) measured outside the
+	// overload probe; the default 0 means nothing may shed.
+	MaxShedRate float64
+}
+
+// Config tunes one Run.
+type Config struct {
+	// BaseURL is the server's HTTP root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// StreamAddr is the streaming-ingest listener ("" skips the stream
+	// phase).
+	StreamAddr string
+	// Seed drives every generated spec, TP and k.
+	Seed int64
+	// Phase sizes (zero values get defaults via withDefaults).
+	Cold         int // distinct cold session specs, one query each
+	Hot          int // repeats of one identical query (cache-hot)
+	HotWorkers   int // concurrency of the hot phase
+	Batches      int // /v1/batch requests in the batch phase
+	BatchJobs    int // jobs per batch
+	StreamFrames int
+	FrameEntries int
+	// QueueDepth is the server's admission queue depth; the overload
+	// probe sends a batch of QueueDepth+1 entries to provoke an atomic
+	// 429. Zero skips the probe.
+	QueueDepth int
+	// Timeout is the client-side HTTP timeout (default 60s).
+	Timeout time.Duration
+	SLO     SLO
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cold == 0 {
+		c.Cold = 4
+	}
+	if c.Hot == 0 {
+		c.Hot = 200
+	}
+	if c.HotWorkers == 0 {
+		c.HotWorkers = 8
+	}
+	if c.Batches == 0 {
+		c.Batches = 4
+	}
+	if c.BatchJobs == 0 {
+		c.BatchJobs = 8
+	}
+	if c.StreamFrames == 0 {
+		c.StreamFrames = 4
+	}
+	if c.FrameEntries == 0 {
+		c.FrameEntries = 4
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// ClassStats summarizes one request mix from the client side. P50/P99
+// come from log2-bucket histograms, so they are upper bounds at 2x
+// resolution; Mean is continuous (sum/count) and is what the bench
+// guard tracks.
+type ClassStats struct {
+	Count  int64
+	Errors int64
+	P50    time.Duration
+	P99    time.Duration
+	Mean   time.Duration
+}
+
+// Check is one asserted invariant.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Result is a Run's outcome.
+type Result struct {
+	Classes map[string]ClassStats
+	Checks  []Check
+}
+
+// Failed lists the checks that did not hold.
+func (r Result) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runner carries one Run's state.
+type runner struct {
+	cfg    Config
+	client *http.Client
+	reg    *obs.Registry // client-side latency histograms per class
+	errs   map[string]*obs.Counter
+	mu     sync.Mutex
+	checks []Check
+}
+
+// Run executes the whole mix against the server at cfg.BaseURL and
+// returns per-class stats plus the asserted invariants. It returns an
+// error only for harness-level failures (server unreachable); contract
+// violations land in Result.Checks.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	r := &runner{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.Timeout},
+		reg:    obs.NewRegistry(),
+		errs:   map[string]*obs.Counter{},
+	}
+	for _, class := range []string{"cold", "hot", "batch", "stream", "malformed"} {
+		r.errs[class] = r.reg.Counter("errors." + class)
+	}
+
+	s0, err := r.scrape()
+	if err != nil {
+		return Result{}, fmt.Errorf("load: initial metrics scrape: %w", err)
+	}
+
+	r.coldPhase()
+	r.hotPhase()
+	r.batchPhase()
+	if cfg.StreamAddr != "" {
+		r.streamPhase()
+	}
+	r.malformedPhase()
+
+	// The shed budget is judged before the overload probe deliberately
+	// triggers shedding.
+	sPre, err := r.scrape()
+	if err != nil {
+		return Result{}, fmt.Errorf("load: metrics scrape: %w", err)
+	}
+	shed := sPre.Counters[service.MetricShed] - s0.Counters[service.MetricShed]
+	solves := sPre.Counters[service.MetricSolves] - s0.Counters[service.MetricSolves]
+	rate := 0.0
+	if shed+solves > 0 {
+		rate = float64(shed) / float64(shed+solves)
+	}
+	r.check("shed-rate", rate <= cfg.SLO.MaxShedRate,
+		fmt.Sprintf("shed %d of %d admissions (rate %.3f, budget %.3f)", shed, shed+solves, rate, cfg.SLO.MaxShedRate))
+
+	if cfg.QueueDepth > 0 {
+		r.overloadProbe()
+	}
+
+	res := Result{Classes: map[string]ClassStats{}, Checks: r.checks}
+	snap := r.reg.Snapshot()
+	for _, class := range []string{"cold", "hot", "batch", "stream", "malformed"} {
+		hs, ok := snap.Histograms["latency."+class]
+		if !ok || hs.Count == 0 {
+			continue
+		}
+		res.Classes[class] = ClassStats{
+			Count:  hs.Count,
+			Errors: snap.Counters["errors."+class],
+			P50:    time.Duration(hs.Quantile(0.50)),
+			P99:    time.Duration(hs.Quantile(0.99)),
+			Mean:   time.Duration(hs.Sum / hs.Count),
+		}
+	}
+	r.sloChecks(res, &res.Checks)
+	return res, nil
+}
+
+func (r *runner) sloChecks(res Result, checks *[]Check) {
+	add := func(c Check) { *checks = append(*checks, c) }
+	hot := res.Classes["hot"]
+	if r.cfg.SLO.HotP50 > 0 {
+		add(Check{"slo-hot-p50", hot.P50 <= r.cfg.SLO.HotP50,
+			fmt.Sprintf("hot p50 %v (budget %v)", hot.P50, r.cfg.SLO.HotP50)})
+	}
+	if r.cfg.SLO.HotP99 > 0 {
+		add(Check{"slo-hot-p99", hot.P99 <= r.cfg.SLO.HotP99,
+			fmt.Sprintf("hot p99 %v (budget %v)", hot.P99, r.cfg.SLO.HotP99)})
+	}
+	if r.cfg.SLO.BatchP99 > 0 {
+		b := res.Classes["batch"]
+		add(Check{"slo-batch-p99", b.P99 <= r.cfg.SLO.BatchP99,
+			fmt.Sprintf("batch p99 %v (budget %v)", b.P99, r.cfg.SLO.BatchP99)})
+	}
+	for _, class := range []string{"cold", "hot", "batch", "stream", "malformed"} {
+		c := res.Classes[class]
+		if c.Count == 0 && c.Errors == 0 {
+			continue
+		}
+		add(Check{"errors-" + class, c.Errors == 0,
+			fmt.Sprintf("%d errors in %d %s requests", c.Errors, c.Count, class)})
+	}
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+func (r *runner) check(name string, ok bool, detail string) {
+	r.mu.Lock()
+	r.checks = append(r.checks, Check{Name: name, OK: ok, Detail: detail})
+	r.mu.Unlock()
+	status := "ok"
+	if !ok {
+		status = "FAIL"
+	}
+	r.logf("check %-24s %-4s %s", name, status, detail)
+}
+
+// scrape fetches and parses the server's /metrics snapshot.
+func (r *runner) scrape() (obs.Snapshot, error) {
+	resp, err := r.client.Get(r.cfg.BaseURL + "/metrics")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return obs.ParseSnapshot(resp.Body)
+}
+
+// post sends a JSON body and records its latency under class.
+func (r *runner) post(class, path string, body any) (int, []byte) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		r.errs[class].Inc()
+		return 0, nil
+	}
+	return r.postRaw(class, path, "application/json", data)
+}
+
+func (r *runner) postRaw(class, path, contentType string, data []byte) (int, []byte) {
+	start := time.Now()
+	resp, err := r.client.Post(r.cfg.BaseURL+path, contentType, bytes.NewReader(data))
+	if err != nil {
+		r.errs[class].Inc()
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	r.reg.Histogram("latency." + class).ObserveDuration(time.Since(start))
+	return resp.StatusCode, out
+}
+
+// randTP renders b pseudo-random bits.
+func randTP(rng *rand.Rand, b int) string {
+	var sb strings.Builder
+	for i := 0; i < b; i++ {
+		if rng.Intn(2) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// randLog builds a wire-format log of n pseudo-random (TP, k) entries.
+func randLog(rng *rand.Rand, m, b, n int) []byte {
+	entries := make([]core.LogEntry, n)
+	for i := range entries {
+		tp, err := bitvec.Parse(randTP(rng, b))
+		if err != nil {
+			panic(err) // randTP output is always parseable
+		}
+		entries[i] = core.LogEntry{TP: tp, K: 1 + rng.Intn(3)}
+	}
+	var buf bytes.Buffer
+	if err := core.WriteLog(&buf, m, b, entries); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// spec derives a fresh "random"-scheme session spec from the run seed;
+// distinct salts (and distinct run seeds) give distinct cold specs.
+func (r *runner) spec(salt int64, m, b int) service.EncodingSpec {
+	return service.EncodingSpec{Scheme: "random", M: m, B: b, Depth: 4, Seed: r.cfg.Seed*1000 + salt}
+}
+
+type unaryReq struct {
+	Encoding service.EncodingSpec `json:"encoding"`
+	TP       string               `json:"tp,omitempty"`
+	K        int                  `json:"k,omitempty"`
+	Log      []byte               `json:"log,omitempty"`
+	Limit    int                  `json:"limit,omitempty"`
+}
+
+type batchJobReq struct {
+	TP    string `json:"tp,omitempty"`
+	K     int    `json:"k,omitempty"`
+	Log   []byte `json:"log,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+type batchReq struct {
+	Encoding service.EncodingSpec `json:"encoding"`
+	Jobs     []batchJobReq        `json:"jobs"`
+}
+
+type batchRespJob struct {
+	Index   int               `json:"index"`
+	Status  int               `json:"status"`
+	Error   string            `json:"error,omitempty"`
+	Results []json.RawMessage `json:"results,omitempty"`
+}
+
+type batchResp struct {
+	M    int            `json:"m"`
+	B    int            `json:"b"`
+	Jobs []batchRespJob `json:"jobs"`
+}
+
+// coldPhase queries a run of distinct fresh specs: every request pays
+// a session build (the worst-case path).
+func (r *runner) coldPhase() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 1))
+	r.logf("phase cold: %d distinct specs", r.cfg.Cold)
+	for i := 0; i < r.cfg.Cold; i++ {
+		req := unaryReq{Encoding: r.spec(100+int64(i), 24, 12), TP: randTP(rng, 12), K: 1 + rng.Intn(3)}
+		if code, _ := r.post("cold", "/v1/reconstruct", req); code != http.StatusOK {
+			r.errs["cold"].Inc()
+		}
+	}
+}
+
+// hotPhase repeats one identical query from many workers: after the
+// first solve everything is a cache hit or a coalesced wait.
+func (r *runner) hotPhase() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 2))
+	spec := r.spec(200, 28, 12)
+	req := unaryReq{Encoding: spec, Log: randLog(rng, 28, 12, 3)}
+	r.logf("phase hot: %d requests x %d workers", r.cfg.Hot, r.cfg.HotWorkers)
+	// One priming request pays the build + solves.
+	if code, _ := r.post("hot", "/v1/reconstruct", req); code != http.StatusOK {
+		r.errs["hot"].Inc()
+	}
+	var wg sync.WaitGroup
+	work := make(chan struct{})
+	for w := 0; w < r.cfg.HotWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				if code, _ := r.post("hot", "/v1/reconstruct", req); code != http.StatusOK {
+					r.errs["hot"].Inc()
+				}
+			}
+		}()
+	}
+	for i := 1; i < r.cfg.Hot; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+}
+
+// batchPhase fans Batches x BatchJobs distinct jobs onto ONE fresh
+// spec and asserts the amortization contract: exactly one encoding
+// build for the whole phase, every job accounted and successful.
+func (r *runner) batchPhase() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 3))
+	spec := r.spec(300, 32, 12)
+	r.logf("phase batch: %d batches x %d jobs on one spec", r.cfg.Batches, r.cfg.BatchJobs)
+	s0, err := r.scrape()
+	if err != nil {
+		r.check("batch-scrape", false, err.Error())
+		return
+	}
+	jobsOK := true
+	for i := 0; i < r.cfg.Batches; i++ {
+		req := batchReq{Encoding: spec, Jobs: make([]batchJobReq, r.cfg.BatchJobs)}
+		for j := range req.Jobs {
+			req.Jobs[j] = batchJobReq{TP: randTP(rng, 12), K: 1 + rng.Intn(3)}
+		}
+		code, body := r.post("batch", "/v1/batch", req)
+		if code != http.StatusOK {
+			r.errs["batch"].Inc()
+			jobsOK = false
+			continue
+		}
+		var resp batchResp
+		if err := json.Unmarshal(body, &resp); err != nil {
+			r.errs["batch"].Inc()
+			jobsOK = false
+			continue
+		}
+		for _, job := range resp.Jobs {
+			if job.Status != http.StatusOK {
+				r.logf("batch %d job %d: %d %s", i, job.Index, job.Status, job.Error)
+				jobsOK = false
+			}
+		}
+	}
+	s1, err := r.scrape()
+	if err != nil {
+		r.check("batch-scrape", false, err.Error())
+		return
+	}
+	builds := s1.Counters[service.MetricEncodingBuilds] - s0.Counters[service.MetricEncodingBuilds]
+	jobs := s1.Counters[service.MetricBatchJobs] - s0.Counters[service.MetricBatchJobs]
+	want := int64(r.cfg.Batches * r.cfg.BatchJobs)
+	r.check("batch-amortization", builds == 1,
+		fmt.Sprintf("%d jobs on one spec built %d encodings (want exactly 1)", want, builds))
+	r.check("batch-jobs-accounted", jobs == want,
+		fmt.Sprintf("server counted %d batch jobs, sent %d", jobs, want))
+	r.check("batch-jobs-ok", jobsOK, "every batch job returned status 200")
+}
+
+// streamPhase holds one persistent connection, pushes StreamFrames
+// frames for one fresh spec and asserts the whole stream built exactly
+// one encoding and advanced the trace-cycle position frame by frame.
+func (r *runner) streamPhase() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 4))
+	spec := r.spec(400, 24, 12)
+	r.logf("phase stream: %d frames x %d entries", r.cfg.StreamFrames, r.cfg.FrameEntries)
+	s0, err := r.scrape()
+	if err != nil {
+		r.check("stream-scrape", false, err.Error())
+		return
+	}
+	sc, err := service.DialStream(r.cfg.StreamAddr, r.cfg.Timeout)
+	if err != nil {
+		r.check("stream-dial", false, err.Error())
+		return
+	}
+	defer sc.Close()
+	ack, err := sc.Hello(service.StreamHello{Device: "tprload", Signal: fmt.Sprintf("sig-%d", r.cfg.Seed), Encoding: spec})
+	if err != nil {
+		r.check("stream-hello", false, err.Error())
+		return
+	}
+	base := ack.NextTraceCycle
+	framesOK := true
+	for i := 0; i < r.cfg.StreamFrames; i++ {
+		start := time.Now()
+		msg, err := sc.SendFrame(randLog(rng, 24, 12, r.cfg.FrameEntries))
+		r.reg.Histogram("latency.stream").ObserveDuration(time.Since(start))
+		if err != nil || msg.Status != 0 {
+			r.errs["stream"].Inc()
+			r.logf("stream frame %d: err=%v status=%d %s", i, err, msg.Status, msg.Error)
+			framesOK = false
+			continue
+		}
+		if msg.TraceCycleBase != base+i*r.cfg.FrameEntries {
+			framesOK = false
+			r.logf("stream frame %d: trace_cycle_base %d, want %d", i, msg.TraceCycleBase, base+i*r.cfg.FrameEntries)
+		}
+	}
+	done, err := sc.End()
+	r.check("stream-clean-end", err == nil && done.Frames == r.cfg.StreamFrames,
+		fmt.Sprintf("done summary %+v err=%v", done, err))
+	r.check("stream-frames-ok", framesOK, "every frame answered with advancing trace-cycle base")
+	s1, err := r.scrape()
+	if err != nil {
+		r.check("stream-scrape", false, err.Error())
+		return
+	}
+	builds := s1.Counters[service.MetricEncodingBuilds] - s0.Counters[service.MetricEncodingBuilds]
+	frames := s1.Counters[service.MetricStreamFrames] - s0.Counters[service.MetricStreamFrames]
+	entries := s1.Counters[service.MetricStreamEntries] - s0.Counters[service.MetricStreamEntries]
+	r.check("stream-amortization", builds == 1,
+		fmt.Sprintf("%d frames on one stream built %d encodings (want exactly 1)", frames, builds))
+	r.check("stream-entries-accounted",
+		frames == int64(r.cfg.StreamFrames) && entries == int64(r.cfg.StreamFrames*r.cfg.FrameEntries),
+		fmt.Sprintf("server counted %d frames / %d entries, sent %d / %d",
+			frames, entries, r.cfg.StreamFrames, r.cfg.StreamFrames*r.cfg.FrameEntries))
+}
+
+// malformedPhase throws structurally invalid traffic at every parser
+// and asserts it is rejected with 4xx while the server stays healthy.
+func (r *runner) malformedPhase() {
+	r.logf("phase malformed: parser rejection sweep")
+	cases := []struct {
+		name, path, ct string
+		body           []byte
+	}{
+		{"truncated-json", "/v1/reconstruct", "application/json", []byte(`{"encoding":{"m":`)},
+		{"unknown-field", "/v1/reconstruct", "application/json", []byte(`{"bogus":1}`)},
+		{"corrupt-wire", "/v1/reconstruct", "application/octet-stream", []byte("TPR1garbage-not-a-log")},
+		{"empty-batch", "/v1/batch", "application/json", []byte(`{"encoding":{"m":8,"b":4},"jobs":[]}`)},
+		{"batch-bad-log", "/v1/batch", "application/json", []byte(`{"jobs":[{"log":"AAAA"}]}`)},
+	}
+	allRejected := true
+	for _, c := range cases {
+		code, _ := r.postRaw("malformed", c.path, c.ct, c.body)
+		if code < 400 || code >= 500 {
+			allRejected = false
+			r.logf("malformed %s: got %d, want 4xx", c.name, code)
+		}
+	}
+	r.check("malformed-rejected", allRejected, "every malformed request answered 4xx")
+	resp, err := r.client.Get(r.cfg.BaseURL + "/healthz")
+	healthy := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		resp.Body.Close()
+	}
+	r.check("healthy-after-malformed", healthy, "healthz still ok after the rejection sweep")
+}
+
+// overloadProbe sends one batch whose entry count exceeds the
+// admission queue and asserts atomic rejection: 429, zero jobs
+// admitted, zero solves run, exactly one batch shed.
+func (r *runner) overloadProbe() {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 5))
+	n := r.cfg.QueueDepth + 1
+	r.logf("phase overload: batch of %d entries vs queue depth %d", n, r.cfg.QueueDepth)
+	s0, err := r.scrape()
+	if err != nil {
+		r.check("overload-scrape", false, err.Error())
+		return
+	}
+	req := batchReq{Encoding: r.spec(500, 24, 12), Jobs: make([]batchJobReq, n)}
+	for j := range req.Jobs {
+		req.Jobs[j] = batchJobReq{TP: randTP(rng, 12), K: 1 + rng.Intn(3)}
+	}
+	code, _ := r.post("batch", "/v1/batch", req)
+	s1, err := r.scrape()
+	if err != nil {
+		r.check("overload-scrape", false, err.Error())
+		return
+	}
+	jobs := s1.Counters[service.MetricBatchJobs] - s0.Counters[service.MetricBatchJobs]
+	solves := s1.Counters[service.MetricSolves] - s0.Counters[service.MetricSolves]
+	shed := s1.Counters[service.MetricBatchShed] - s0.Counters[service.MetricBatchShed]
+	r.check("overload-atomic-429",
+		code == http.StatusTooManyRequests && jobs == 0 && solves == 0 && shed == 1,
+		fmt.Sprintf("status %d, %d jobs admitted, %d solves, %d batches shed (want 429/0/0/1)", code, jobs, solves, shed))
+}

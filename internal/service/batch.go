@@ -1,0 +1,287 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/reconstruct"
+)
+
+// batchRequest is the JSON body of POST /v1/batch: many jobs against
+// one shared encoding spec. The whole batch runs on a single session —
+// one encoding build, one dispatcher — which is the point: a fleet
+// frontend flushes a window of queries for one signal in one request
+// instead of paying the session lookup and HTTP round-trip per query.
+type batchRequest struct {
+	Encoding EncodingSpec `json:"encoding"`
+	Jobs     []batchJob   `json:"jobs"`
+	// TimeoutMS bounds the whole batch (capped by Config.MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// batchJob is one query of a batch: an inline TP/k entry or a wire log
+// (optionally windowed by Cycles), with per-job properties, limit and
+// count-only mode. The encoding is shared batch-wide and deliberately
+// absent here.
+type batchJob struct {
+	TP         string `json:"tp,omitempty"`
+	K          int    `json:"k,omitempty"`
+	Log        []byte `json:"log,omitempty"`
+	Cycles     []int  `json:"cycles,omitempty"`
+	Properties string `json:"properties,omitempty"`
+	Limit      int    `json:"limit,omitempty"`
+	CountOnly  bool   `json:"count_only,omitempty"`
+}
+
+// batchJobResult is the per-job slot of the response. Jobs fail
+// independently: Status carries the HTTP status the job would have
+// drawn as a unary request (200, 400, 504, ...), so one malformed or
+// timed-out job never poisons its siblings.
+type batchJobResult struct {
+	Index   int             `json:"index"`
+	Status  int             `json:"status"`
+	Error   string          `json:"error,omitempty"`
+	Results []entryResponse `json:"results,omitempty"`
+}
+
+type batchResponse struct {
+	M    int              `json:"m"`
+	B    int              `json:"b"`
+	Jobs []batchJobResult `json:"jobs"`
+}
+
+// parseBatchRequest decodes and structurally validates a batch body.
+// It is a pure function over the raw bytes (no server state) so the
+// fuzz target can drive it directly.
+func parseBatchRequest(data []byte, maxJobs int) (batchRequest, error) {
+	var req batchRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return batchRequest{}, badRequest("json body: %v", err)
+	}
+	if dec.More() {
+		return batchRequest{}, badRequest("trailing data after batch object")
+	}
+	if len(req.Jobs) == 0 {
+		return batchRequest{}, badRequest("batch needs at least one job")
+	}
+	if len(req.Jobs) > maxJobs {
+		return batchRequest{}, badRequest("batch has %d jobs, cap is %d", len(req.Jobs), maxJobs)
+	}
+	return req, nil
+}
+
+// batchPlan is one job resolved against the shared spec: its work
+// items plus the canonicalized solve parameters — or the per-job error
+// that takes its response slot instead.
+type batchPlan struct {
+	items       []workItem
+	constraints []reconstruct.Constraint
+	propKey     string
+	limit       int
+	countOnly   bool
+	err         *httpError
+}
+
+// planBatchJob resolves one job against the already-normalized shared
+// spec. Errors are per-job: they fail this plan, not the batch.
+func planBatchJob(spec EncodingSpec, job batchJob) batchPlan {
+	p := batchPlan{countOnly: job.CountOnly}
+	fail := func(he *httpError) batchPlan { return batchPlan{err: he} }
+	switch {
+	case job.Log != nil && job.TP != "":
+		return fail(badRequest("give either tp/k or log, not both"))
+	case job.Log != nil:
+		m, b, entries, err := core.ReadLog(bytes.NewReader(job.Log))
+		if err != nil {
+			return fail(badRequest("wire log: %v", err))
+		}
+		if m != spec.M || b != spec.B {
+			return fail(badRequest("wire header (m=%d, b=%d) does not match batch encoding (m=%d, b=%d)", m, b, spec.M, spec.B))
+		}
+		if len(job.Cycles) == 0 {
+			for tc, e := range entries {
+				p.items = append(p.items, workItem{tc, e})
+			}
+		} else {
+			for _, tc := range job.Cycles {
+				if tc < 0 || tc >= len(entries) {
+					return fail(badRequest("trace-cycle %d outside [0,%d)", tc, len(entries)))
+				}
+				p.items = append(p.items, workItem{tc, entries[tc]})
+			}
+		}
+	case job.TP != "":
+		tp, err := bitvec.Parse(job.TP)
+		if err != nil {
+			return fail(badRequest("tp: %v", err))
+		}
+		if tp.Width() != spec.B {
+			return fail(badRequest("tp width %d, want b=%d", tp.Width(), spec.B))
+		}
+		p.items = append(p.items, workItem{0, core.LogEntry{TP: tp, K: job.K}})
+	default:
+		return fail(badRequest("need tp/k or a wire log"))
+	}
+	constraints, propKey, err := canonProps(job.Properties)
+	if err != nil {
+		code, msg := errorStatus(err)
+		return fail(&httpError{code: code, msg: msg})
+	}
+	p.constraints, p.propKey = constraints, propKey
+	p.limit = effectiveLimit(job.Limit, job.CountOnly)
+	return p
+}
+
+// resolveBatchSpec normalizes the shared spec, borrowing m and b from
+// the first decodable wire log when the request leaves them unset
+// (mirroring the unary wire-log convenience).
+func resolveBatchSpec(req batchRequest) (EncodingSpec, error) {
+	if req.Encoding.M == 0 || req.Encoding.B == 0 {
+		for _, job := range req.Jobs {
+			if job.Log == nil {
+				continue
+			}
+			m, b, _, err := core.ReadLog(bytes.NewReader(job.Log))
+			if err != nil {
+				continue // the job's own plan reports this
+			}
+			if req.Encoding.M == 0 {
+				req.Encoding.M = m
+			}
+			if req.Encoding.B == 0 {
+				req.Encoding.B = b
+			}
+			break
+		}
+	}
+	spec, err := req.Encoding.normalize()
+	if err != nil {
+		return spec, badRequest("encoding: %v", err)
+	}
+	return spec, nil
+}
+
+// handleBatch runs many jobs against one shared session. Admission is
+// atomic: the batch reserves one queue position per solve entry up
+// front (reserveBatch) and is shed whole with 429 when they do not all
+// fit — a batch never half-runs. Within the admitted batch, entries
+// solve with bounded parallelism (Config.BatchParallelism), every one
+// drawing its worker slot through the shared grant, and each job
+// reports its own typed status.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.obs.StartSpan(SpanRequest).End()
+	defer s.obs.StartSpan(SpanBatch).End()
+	s.obs.Counter(MetricReqBatch).Inc()
+
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		s.writeError(w, badRequest("body: %v", err))
+		return
+	}
+	req, err := parseBatchRequest(data, s.cfg.MaxBatchJobs)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	spec, err := resolveBatchSpec(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	// Plan every job before admitting anything, so the reservation is
+	// sized by real solve entries and malformed jobs cost nothing.
+	plans := make([]batchPlan, len(req.Jobs))
+	total := 0
+	for i, job := range req.Jobs {
+		plans[i] = planBatchJob(spec, job)
+		total += len(plans[i].items)
+	}
+
+	grant, err := s.admit.reserveBatch(total)
+	if err != nil {
+		s.obs.Counter(MetricBatchShed).Inc()
+		s.writeError(w, &httpError{code: http.StatusTooManyRequests, msg: "admission queue cannot fit the whole batch, retry later"})
+		return
+	}
+	defer grant.close()
+	s.obs.Counter(MetricBatchJobs).Add(int64(len(req.Jobs)))
+	s.obs.Counter(MetricBatchEntries).Add(int64(total))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	sess := s.sessions.get(spec)
+
+	// Flatten the admitted entries into tasks and fan out across a
+	// bounded worker pool; each (job, item) slot is written by exactly
+	// one worker, so assembly below needs no locking.
+	type task struct{ job, item int }
+	var tasks []task
+	for j, p := range plans {
+		for i := range p.items {
+			tasks = append(tasks, task{j, i})
+		}
+	}
+	results := make([][]entryResponse, len(plans))
+	errs := make([][]error, len(plans))
+	for j, p := range plans {
+		results[j] = make([]entryResponse, len(p.items))
+		errs[j] = make([]error, len(p.items))
+	}
+	workers := min(s.cfg.BatchParallelism, len(tasks))
+	next := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				p := &plans[t.job]
+				er, err := s.solveEntry(ctx, sess, p.items[t.item].entry, p.constraints, p.propKey, p.limit, p.countOnly, grant.acquire)
+				if err != nil {
+					errs[t.job][t.item] = err
+					continue
+				}
+				er.TraceCycle = p.items[t.item].tc
+				results[t.job][t.item] = er
+			}
+		}()
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+
+	resp := batchResponse{M: spec.M, B: spec.B, Jobs: make([]batchJobResult, len(plans))}
+	for j, p := range plans {
+		jr := batchJobResult{Index: j, Status: http.StatusOK}
+		if p.err != nil {
+			jr.Status, jr.Error = p.err.code, p.err.msg
+			resp.Jobs[j] = jr
+			continue
+		}
+		for i := range p.items {
+			if err := errs[j][i]; err != nil {
+				// The first failing entry (in item order) speaks for the
+				// job; partial results are dropped rather than returned
+				// mislabeled as complete.
+				jr.Status, jr.Error = errorStatus(err)
+				jr.Results = nil
+				break
+			}
+			jr.Results = append(jr.Results, results[j][i])
+		}
+		resp.Jobs[j] = jr
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

@@ -56,6 +56,40 @@ type jobRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
+// workItem is one (trace-cycle, entry) unit of solve work assembled
+// from a job — inline TP/k, or one selected entry of a wire log.
+type workItem struct {
+	tc    int
+	entry core.LogEntry
+}
+
+// canonProps parses and canonicalizes a properties expression. The
+// parsed form's String() is the cache-key representation, so
+// equivalent spellings ("mingap(3); dk(32,3)" vs "mingap(3);dk(32,3)")
+// share cache entries.
+func canonProps(expr string) ([]reconstruct.Constraint, string, error) {
+	if expr == "" {
+		return nil, "", nil
+	}
+	prop, err := properties.Parse(expr)
+	if err != nil {
+		return nil, "", badRequest("properties: %v", err)
+	}
+	return []reconstruct.Constraint{prop}, prop.String(), nil
+}
+
+// effectiveLimit resolves a job's limit against the endpoint defaults
+// (0 = default, -1 = exhaustive).
+func effectiveLimit(limit int, countOnly bool) int {
+	if limit != 0 {
+		return limit
+	}
+	if countOnly {
+		return defaultCountLimit
+	}
+	return defaultReconstructLimit
+}
+
 // entryResponse is the per-trace-cycle result of a job.
 type entryResponse struct {
 	TraceCycle int    `json:"trace_cycle"`
@@ -116,10 +150,6 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, countOnly boo
 	}
 
 	// Assemble the (trace-cycle, entry) work list.
-	type workItem struct {
-		tc    int
-		entry core.LogEntry
-	}
 	var items []workItem
 	if job.Log != nil {
 		if job.TP != "" {
@@ -175,28 +205,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, countOnly boo
 		items = append(items, workItem{0, core.LogEntry{TP: tp, K: job.K}})
 	}
 
-	// Canonicalize properties once; the parsed form's String() is the
-	// cache-key representation, so equivalent spellings share entries.
-	var constraints []reconstruct.Constraint
-	propKey := ""
-	if job.Properties != "" {
-		prop, err := properties.Parse(job.Properties)
-		if err != nil {
-			s.writeError(w, badRequest("properties: %v", err))
-			return
-		}
-		constraints = append(constraints, prop)
-		propKey = prop.String()
+	// Canonicalize properties once (see canonProps: the parsed form's
+	// String() is the cache-key representation).
+	constraints, propKey, err := canonProps(job.Properties)
+	if err != nil {
+		s.writeError(w, err)
+		return
 	}
-
-	limit := job.Limit
-	if limit == 0 {
-		if countOnly {
-			limit = defaultCountLimit
-		} else {
-			limit = defaultReconstructLimit
-		}
-	}
+	limit := effectiveLimit(job.Limit, countOnly)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(job.TimeoutMS))
 	defer cancel()
@@ -204,7 +220,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, countOnly boo
 
 	resp := jobResponse{M: spec.M, B: spec.B}
 	for _, it := range items {
-		er, err := s.solveEntry(ctx, sess, it.entry, constraints, propKey, limit, countOnly)
+		er, err := s.solveEntry(ctx, sess, it.entry, constraints, propKey, limit, countOnly, s.admit.acquire)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -216,8 +232,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, countOnly boo
 }
 
 // solveEntry answers one (entry, properties, limit) query through the
-// cache → singleflight → admission → solver pipeline.
-func (s *Server) solveEntry(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, propKey string, limit int, countOnly bool) (entryResponse, error) {
+// cache → singleflight → admission → solver pipeline. admit supplies
+// the admission discipline: unary requests queue per solve, batch
+// entries draw on the batch's atomic reservation.
+func (s *Server) solveEntry(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, propKey string, limit int, countOnly bool, admit admitFunc) (entryResponse, error) {
 	er := entryResponse{TP: entry.TP.String(), K: entry.K}
 	key := cacheKey(sess.spec.key(), entry, propKey, limit, countOnly)
 
@@ -226,7 +244,7 @@ func (s *Server) solveEntry(ctx context.Context, sess *session, entry core.LogEn
 		return er, nil
 	}
 	res, shared, err := s.flight.do(ctx, key, func() (solveResult, error) {
-		res, err := s.solve(ctx, sess, entry, constraints, limit, countOnly)
+		res, err := s.solve(ctx, sess, entry, constraints, limit, countOnly, admit)
 		if err == nil {
 			s.cache.add(key, res)
 		}
@@ -245,8 +263,8 @@ func (s *Server) solveEntry(ctx context.Context, sess *session, entry core.LogEn
 // solve answers one query under admission control and the request
 // deadline, routed by the session's dispatcher to the cheapest sound
 // backend (or the one pinned by Config.Oracle).
-func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, limit int, countOnly bool) (solveResult, error) {
-	release, err := s.admit.acquire(ctx)
+func (s *Server) solve(ctx context.Context, sess *session, entry core.LogEntry, constraints []reconstruct.Constraint, limit int, countOnly bool, admit admitFunc) (solveResult, error) {
+	release, err := admit(ctx)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			return solveResult{}, &httpError{code: http.StatusTooManyRequests, msg: "admission queue full, retry later"}
@@ -544,6 +562,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// errorStatus maps a solve-path error to its HTTP status and message —
+// the per-job form of writeError the batch endpoint embeds in job
+// results instead of failing the whole request.
+func errorStatus(err error) (int, string) {
+	he := &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+	errors.As(err, &he)
+	return he.code, he.msg
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {

@@ -40,6 +40,13 @@ func newAdmission(depth, workers int, r *obs.Registry) *admission {
 	}
 }
 
+// admitFunc is the admission side of one solve: it blocks until a
+// worker slot is free (or the context dies) and returns the slot's
+// release function. The unary path uses admission.acquire; the batch
+// path uses a batchGrant's acquire, which draws on positions the whole
+// batch reserved atomically up front.
+type admitFunc func(ctx context.Context) (release func(), err error)
+
 // acquire claims a worker slot, waiting in the bounded queue if all
 // workers are busy. It returns errQueueFull when the queue is at
 // capacity and ctx.Err() when the request deadline expires while
@@ -72,5 +79,80 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		}, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+}
+
+// batchGrant holds queue positions a batch reserved atomically with
+// reserveBatch. Each of the batch's solves converts one position into
+// a worker slot via acquire; positions that never become solves (cache
+// hits, coalesced entries, failed jobs) are returned by close. The
+// grant is safe for concurrent use by the batch's workers.
+type batchGrant struct {
+	a        *admission
+	reserved int64
+	released atomic.Int64
+}
+
+// reserveBatch atomically reserves n queue positions — all or nothing.
+// A batch whose entry count does not fit the remaining queue capacity
+// is rejected as a unit with errQueueFull (no partial admission), so a
+// batch can never strand half its jobs behind a full queue. The caller
+// must eventually call close on the returned grant.
+func (a *admission) reserveBatch(n int) (*batchGrant, error) {
+	if n <= 0 {
+		return &batchGrant{a: a}, nil
+	}
+	for {
+		w := a.waiting.Load()
+		if w+int64(n) > a.depth {
+			a.shed.Inc()
+			return nil, errQueueFull
+		}
+		if a.waiting.CompareAndSwap(w, w+int64(n)) {
+			break
+		}
+	}
+	a.queueGauge.Add(int64(n))
+	return &batchGrant{a: a, reserved: int64(n)}, nil
+}
+
+// acquire claims a worker slot against one reserved position. The
+// position is consumed whether the slot was won or the context died —
+// each of the batch's entries admits at most once.
+func (g *batchGrant) acquire(ctx context.Context) (release func(), err error) {
+	defer g.releaseOne()
+	select {
+	case g.a.slots <- struct{}{}:
+		g.a.busyGauge.Add(1)
+		return func() {
+			<-g.a.slots
+			g.a.busyGauge.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// releaseOne returns one reserved queue position, at most reserved
+// times across all callers.
+func (g *batchGrant) releaseOne() {
+	for {
+		r := g.released.Load()
+		if r >= g.reserved {
+			return
+		}
+		if g.released.CompareAndSwap(r, r+1) {
+			g.a.waiting.Add(-1)
+			g.a.queueGauge.Add(-1)
+			return
+		}
+	}
+}
+
+// close returns every position not consumed by acquire. Call it after
+// all the batch's workers have finished.
+func (g *batchGrant) close() {
+	for g.released.Load() < g.reserved {
+		g.releaseOne()
 	}
 }

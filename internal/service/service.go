@@ -42,6 +42,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,10 +52,14 @@ import (
 
 // Metric names published by the service layer.
 const (
-	// Per-endpoint request counters.
+	// Per-endpoint request counters. MetricReqBatch counts /v1/batch
+	// requests (admitted or shed); MetricReqStream counts streaming
+	// ingest connections that completed a handshake.
 	MetricReqReconstruct = "service.requests.reconstruct"
 	MetricReqCount       = "service.requests.count"
 	MetricReqCompare     = "service.requests.compare"
+	MetricReqBatch       = "service.requests.batch"
+	MetricReqStream      = "service.requests.stream"
 	// MetricShed counts requests rejected with 429 because the
 	// admission queue was full; MetricTimeouts counts solves stopped by
 	// a request deadline (mapped to 504).
@@ -92,6 +97,25 @@ const (
 	// times whole requests including queueing and serialization.
 	SpanSolve   = "service.solve"
 	SpanRequest = "service.request"
+	// Batch counters: jobs and solve entries processed by admitted
+	// batches, and batches rejected atomically because their entry
+	// count did not fit the admission queue (also counted by
+	// MetricShed). SpanBatch times whole /v1/batch requests.
+	MetricBatchJobs    = "service.batch.jobs"
+	MetricBatchEntries = "service.batch.entries"
+	MetricBatchShed    = "service.batch.shed"
+	SpanBatch          = "service.batch"
+	// MetricEncodingBuilds counts session encodings actually
+	// constructed — the amortization witness: a batch of N jobs (or a
+	// whole stream) against one spec moves it by exactly 1.
+	MetricEncodingBuilds = "service.encoding.builds"
+	// Streaming-ingest counters: frames and entries accepted, and
+	// frames answered with a per-frame error (shed, deadline, solver
+	// budget). SpanStreamFrame times frame turnarounds.
+	MetricStreamFrames      = "service.stream.frames"
+	MetricStreamEntries     = "service.stream.entries"
+	MetricStreamFrameErrors = "service.stream.frame_errors"
+	SpanStreamFrame         = "service.stream.frame"
 )
 
 // Config tunes a Server. The zero value serves on an ephemeral port
@@ -131,6 +155,20 @@ type Config struct {
 	// DisableIncremental turns off per-session solver reuse: every
 	// solve builds a fresh SAT instance (ablation/debug).
 	DisableIncremental bool
+	// MaxBatchJobs bounds the jobs one /v1/batch request may carry
+	// (default 256); BatchParallelism bounds how many of a batch's
+	// entries solve concurrently (default Workers). Note the whole
+	// batch's entry count must also fit the admission queue
+	// (QueueDepth) or the batch is shed atomically with 429.
+	MaxBatchJobs     int
+	BatchParallelism int
+	// StreamAddr, when non-empty, serves the length-prefixed TCP
+	// streaming-ingest protocol (see stream.go) on this address
+	// alongside the HTTP listener.
+	StreamAddr string
+	// MaxStreams bounds the per-(device,signal) stream-session table
+	// (default 4096).
+	MaxStreams int
 	// Oracle pins every solve to one reconstruction backend ("sat",
 	// "sat-par", "sat-inc", "decode", "brute", "exhaustive"). "" or
 	// "auto" (the default) lets the dispatcher's cost model route each
@@ -172,6 +210,15 @@ func (c Config) withDefaults() Config {
 	if c.SessionMaxK <= 0 {
 		c.SessionMaxK = 16
 	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 256
+	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = c.Workers
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 4096
+	}
 	return c
 }
 
@@ -190,6 +237,16 @@ type Server struct {
 	ready    chan struct{}
 	draining atomic.Bool
 
+	// Streaming-ingest state (stream.go): the TCP listener bound when
+	// Config.StreamAddr is set, the per-(device,signal) stream-session
+	// table, and the live-connection tracking Shutdown uses to wake and
+	// drain blocked frame reads.
+	streamLn    net.Listener
+	streams     *streamTable
+	streamMu    sync.Mutex
+	streamConns map[net.Conn]struct{}
+	streamWG    sync.WaitGroup
+
 	// solveDelay stretches every solve; tests use it to hold requests
 	// in flight deterministically. Zero in production.
 	solveDelay time.Duration
@@ -206,11 +263,15 @@ func New(cfg Config) *Server {
 		flight:   newFlightGroup(),
 		admit:    newAdmission(cfg.QueueDepth, cfg.Workers, cfg.Obs),
 		ready:    make(chan struct{}),
+
+		streams:     newStreamTable(cfg.MaxStreams),
+		streamConns: make(map[net.Conn]struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/reconstruct", s.handleReconstruct)
 	mux.HandleFunc("POST /v1/count", s.handleCount)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.Obs != nil {
 		h := obs.Handler(cfg.Obs)
@@ -227,14 +288,25 @@ func New(cfg Config) *Server {
 // Handler exposes the service mux (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.http.Handler }
 
-// Start binds the listener and serves in a background goroutine. It
-// returns the bound address once the server is accepting connections.
+// Start binds the listener(s) and serves in a background goroutine. It
+// returns the bound HTTP address once the server is accepting
+// connections; when Config.StreamAddr is set the streaming-ingest TCP
+// listener is bound too (see StreamAddr for its bound address).
 func (s *Server) Start() (net.Addr, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.listener = ln
+	if s.cfg.StreamAddr != "" {
+		sln, err := net.Listen("tcp", s.cfg.StreamAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("service: stream listen %s: %w", s.cfg.StreamAddr, err)
+		}
+		s.streamLn = sln
+		go s.serveStream(sln)
+	}
 	close(s.ready)
 	go func() {
 		// ErrServerClosed is the normal shutdown outcome.
@@ -254,6 +326,15 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
+// StreamAddr returns the bound streaming-ingest address (nil before
+// Start or when Config.StreamAddr is unset).
+func (s *Server) StreamAddr() net.Addr {
+	if s.streamLn == nil {
+		return nil
+	}
+	return s.streamLn.Addr()
+}
+
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
@@ -264,11 +345,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // InterruptOnDone — interrupts any solver still searching.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	streamErr := s.shutdownStream(ctx)
 	if err := s.http.Shutdown(ctx); err != nil {
 		closeErr := s.http.Close()
 		return fmt.Errorf("service: drain incomplete (%w), connections closed (close: %v)", err, closeErr)
 	}
-	return nil
+	return streamErr
 }
 
 // Run is the daemon main loop: Start, then serve until ctx is

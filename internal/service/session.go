@@ -128,6 +128,7 @@ func (sp EncodingSpec) build() (*encoding.Encoding, error) {
 // each exactly once.
 type session struct {
 	spec EncodingSpec
+	obs  *obs.Registry
 	once sync.Once
 	enc  *encoding.Encoding
 	err  error
@@ -138,7 +139,13 @@ type session struct {
 }
 
 func (s *session) encoding() (*encoding.Encoding, error) {
-	s.once.Do(func() { s.enc, s.err = s.spec.build() })
+	s.once.Do(func() {
+		// The build counter is the amortization witness the batch API
+		// and tprload assert on: a batch of N jobs (or a stream of N
+		// frames) on one spec must move it by exactly 1.
+		s.obs.Counter(MetricEncodingBuilds).Inc()
+		s.enc, s.err = s.spec.build()
+	})
 	return s.enc, s.err
 }
 
@@ -167,6 +174,7 @@ type sessionTable struct {
 	ll    *list.List
 	items map[string]*list.Element
 
+	reg   *obs.Registry
 	gauge *obs.Gauge
 }
 
@@ -180,6 +188,7 @@ func newSessionTable(max int, r *obs.Registry) *sessionTable {
 		max:   max,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, max),
+		reg:   r,
 		gauge: r.Gauge(MetricSessions),
 	}
 }
@@ -194,8 +203,12 @@ func (t *sessionTable) get(sp EncodingSpec) *session {
 		t.ll.MoveToFront(el)
 		return el.Value.(*sessionEntry).sess
 	}
-	sess := &session{spec: sp}
+	sess := &session{spec: sp, obs: t.reg}
 	t.items[key] = t.ll.PushFront(&sessionEntry{key: key, sess: sess})
+	// Eviction only forgets the table entry: requests (a batch mid-
+	// flight, a live stream) that already hold the *session keep using
+	// it — its encoding is never rebuilt under them. A returning client
+	// pays one rebuild, never an error.
 	for t.ll.Len() > t.max {
 		oldest := t.ll.Back()
 		t.ll.Remove(oldest)

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// StreamClient speaks the streaming-ingest protocol (stream.go) from
+// the device side. It is the one client implementation shared by the
+// service tests, the timeprintd smoke check, and the tprload harness —
+// so the wire format has exactly one reader and one writer to drift.
+type StreamClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// StreamEntryResult mirrors the per-entry JSON of a frame reply.
+type StreamEntryResult struct {
+	TraceCycle int      `json:"trace_cycle"`
+	TP         string   `json:"tp"`
+	K          int      `json:"k"`
+	Candidates []string `json:"candidates,omitempty"`
+	Changes    [][]int  `json:"changes,omitempty"`
+	Count      int      `json:"count"`
+	Exhausted  bool     `json:"exhausted"`
+	Cached     bool     `json:"cached,omitempty"`
+	Coalesced  bool     `json:"coalesced,omitempty"`
+}
+
+// StreamMsg is the union of every server line: the hello ack
+// (State "ok"), control lines ("error", "done", "draining"), and
+// per-frame replies (State empty; Status set only on failure).
+type StreamMsg struct {
+	State          string              `json:"state,omitempty"`
+	Status         int                 `json:"status,omitempty"`
+	Error          string              `json:"error,omitempty"`
+	M              int                 `json:"m,omitempty"`
+	B              int                 `json:"b,omitempty"`
+	NextTraceCycle int                 `json:"next_trace_cycle,omitempty"`
+	Frame          int                 `json:"frame,omitempty"`
+	TraceCycleBase int                 `json:"trace_cycle_base,omitempty"`
+	Results        []StreamEntryResult `json:"results,omitempty"`
+	Frames         int                 `json:"frames,omitempty"`
+	Entries        int                 `json:"entries,omitempty"`
+}
+
+// DialStream connects to a timeprintd streaming listener.
+func DialStream(addr string, timeout time.Duration) (*StreamClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamClient{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Hello performs the handshake. It returns the server's ack (with the
+// stream's resume position in NextTraceCycle) or an error when the
+// server refuses the stream.
+func (c *StreamClient) Hello(h StreamHello) (StreamMsg, error) {
+	data, err := json.Marshal(h)
+	if err != nil {
+		return StreamMsg{}, err
+	}
+	if _, err := c.conn.Write(append(data, '\n')); err != nil {
+		return StreamMsg{}, err
+	}
+	msg, err := c.readMsg()
+	if err != nil {
+		return msg, err
+	}
+	if msg.State != "ok" {
+		return msg, fmt.Errorf("stream hello refused (%s %d): %s", msg.State, msg.Status, msg.Error)
+	}
+	return msg, nil
+}
+
+// SendFrame ships one complete core.WriteLog payload and returns the
+// server's per-frame reply. A reply with Status != 0 is an error the
+// server reported for this frame; State "draining" means the server is
+// shutting down and the stream should reconnect later.
+func (c *StreamClient) SendFrame(payload []byte) (StreamMsg, error) {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := c.conn.Write(lenBuf[:]); err != nil {
+		return StreamMsg{}, err
+	}
+	if _, err := c.conn.Write(payload); err != nil {
+		return StreamMsg{}, err
+	}
+	return c.readMsg()
+}
+
+// End sends the zero-length end-of-stream marker and returns the
+// server's done summary.
+func (c *StreamClient) End() (StreamMsg, error) {
+	var zero [4]byte
+	if _, err := c.conn.Write(zero[:]); err != nil {
+		return StreamMsg{}, err
+	}
+	msg, err := c.readMsg()
+	if err != nil {
+		return msg, err
+	}
+	if msg.State != "done" {
+		return msg, fmt.Errorf("stream end: unexpected reply state %q: %s", msg.State, msg.Error)
+	}
+	return msg, nil
+}
+
+// Close tears the connection down; the server keeps the stream's
+// position for a reconnect.
+func (c *StreamClient) Close() error { return c.conn.Close() }
+
+func (c *StreamClient) readMsg() (StreamMsg, error) {
+	line, err := readStreamLine(c.br)
+	if err != nil {
+		return StreamMsg{}, err
+	}
+	var msg StreamMsg
+	if err := json.Unmarshal(line, &msg); err != nil {
+		return StreamMsg{}, fmt.Errorf("stream reply: %v", err)
+	}
+	return msg, nil
+}
