@@ -19,13 +19,23 @@ DISPATCH_GUARD    = BenchmarkDispatch
 DISPATCH_BASELINE = BENCH_PR7.json
 DISPATCH_FLAGS    = -run='^$$' -bench='$(DISPATCH_GUARD)' -count=5 -benchtime=1x .
 
+# The in-search Gauss benchmark and its baseline (PR9): the planted
+# unconstrained m=512 witness cells (k = 3, 4, 8), in-search Gaussian
+# elimination vs level-0-only reduction. The guarded column is the
+# summed CONFLICT count, not ns/op: the planted entries make it a
+# deterministic solver-effort metric, so the guard pins the propagation
+# win itself and survives noisy CI wall clocks.
+GAUSS_GUARD    = BenchmarkSessionQueriesGauss
+GAUSS_BASELINE = BENCH_PR9.json
+GAUSS_FLAGS    = -run='^$$' -bench='$(GAUSS_GUARD)' -count=5 -benchtime=1x .
+
 # The tprload latency baseline (PR8): client-side mean latency per
 # request class (hot/cold/batch/stream) from the load harness. The
 # guard threshold is loose (75%) because these are wall-clock HTTP
 # latencies on a shared CI box, not isolated CPU benchmarks.
 LOAD_BASELINE = BENCH_PR8.json
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check metrics-smoke timeprintd service-smoke load-smoke load-bench load-bench-record fuzz-smoke
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check gauss-bench gauss-bench-record gauss-check metrics-smoke timeprintd service-smoke load-smoke load-bench load-bench-record fuzz-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -94,6 +104,26 @@ dispatch-check:
 	$(GO) test -race -count=1 -run 'Dispatch|Route|Oracle|Classify|Strict|Session|Incremental' ./internal/reconstruct/ ./internal/service/
 	$(MAKE) dispatch-bench
 
+# gauss-bench guards the in-search Gauss propagation win (PR9): rerun
+# BenchmarkSessionQueriesGauss and fail if either side's median summed
+# conflict count rose >30% against BENCH_PR9.json — a rise on the
+# insearch side means the matrix propagator lost its advantage.
+# gauss-bench-record refreshes the baseline (conflicts are
+# deterministic for a fixed solver, so any material diff is a real
+# behavior change, not machine noise). gauss-check is the CI job: vet,
+# the XOR/Gauss test surface under the race detector (including the
+# 4-way differential parity hammer), then the benchmark guard.
+gauss-bench:
+	$(GO) test $(GAUSS_FLAGS) | $(GO) run ./cmd/benchdiff -metric conflicts -baseline $(GAUSS_BASELINE) -threshold 0.30
+
+gauss-bench-record:
+	$(GO) test $(GAUSS_FLAGS) | $(GO) run ./cmd/benchdiff -metric conflicts -record -out $(GAUSS_BASELINE) -note "count=5 benchtime=1x $(GAUSS_GUARD), median summed conflicts (planted m=512 k=3,4,8)"
+
+gauss-check:
+	$(GO) vet ./...
+	$(GO) test -race -count=1 -run 'Gauss|Xor|Parity' ./internal/sat/ ./internal/reconstruct/
+	$(MAKE) gauss-bench
+
 # metrics-smoke exercises the observability contract end to end: a
 # selfcheck run dumps a -metrics snapshot, metricscheck validates the
 # JSON schema and the key instrument names, and `timeprint stats`
@@ -132,6 +162,7 @@ load-bench-record:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadLog -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=10s ./internal/service/
+	$(GO) test -run='^$$' -fuzz=FuzzXorSystem -fuzztime=10s ./internal/sat/
 
 metrics-smoke:
 	$(GO) run ./cmd/timeprint selfcheck -cases 40 -metrics /tmp/timeprint-metrics.json

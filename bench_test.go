@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/properties"
 	"repro/internal/reconstruct"
 	"repro/internal/sat"
@@ -442,6 +443,67 @@ func BenchmarkSessionQueries(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSessionQueriesGauss is the in-search Gauss headline: the
+// unconstrained m=512 witness cells — the planted Table 1 entries for
+// k = 3, 4, 8, queried through a session with NO suspicion window, the
+// ROADMAP's named worst regime, where the 256-wide parity rows used to
+// burn 17-43k conflicts per cell because a row only propagates once a
+// single literal is left. The insearch side keeps the reduced GF(2)
+// matrix live across decision levels (in-search Gaussian elimination,
+// rebuilt from the RREF basis at restarts); the level0 side is the PR6
+// behavior, reducing only before search. The planted entries are
+// deterministic, so the summed conflict count is a stable
+// machine-independent effort metric — the benchdiff guard in
+// BENCH_PR9.json (make gauss-bench) pins the propagation win, not just
+// the wall clock. (A burst-entry variant of this workload is
+// heavy-tail-dominated: per-query conflicts span 300-74k on identical
+// configurations, so its 16-query mean cannot separate the modes.)
+func BenchmarkSessionQueriesGauss(b *testing.B) {
+	const m = 512
+	ks := []int{3, 4, 8}
+	enc, err := bench.CachedEncoding("incremental", m, bench.PaperB[m], 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		insearch bool
+	}{{"insearch", true}, {"level0", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var conflicts, gprops, gconfl int64
+			for i := 0; i < b.N; i++ {
+				for _, k := range ks {
+					reg := obs.NewRegistry()
+					sess, err := reconstruct.NewSession(enc, reconstruct.SessionOptions{
+						MaxK: k, InSearchGauss: mode.insearch, Obs: reg,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					entry := core.Log(enc, bench.PlantedSignal(m, k))
+					sigs, _, err := sess.Query(entry, nil, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(sigs) == 0 {
+						b.Fatal("no witness")
+					}
+					snap := reg.Snapshot().Counters
+					conflicts += snap[sat.MetricConflicts]
+					gprops += snap[sat.MetricGaussInSearchProps]
+					gconfl += snap[sat.MetricGaussInSearchConflicts]
+					if testing.Verbose() {
+						b.Logf("k=%d: %d conflicts", k, snap[sat.MetricConflicts])
+					}
+				}
+			}
+			b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts")
+			b.ReportMetric(float64(gprops)/float64(b.N), "gprops")
+			b.ReportMetric(float64(gconfl)/float64(b.N), "gconfl")
+		})
+	}
 }
 
 // BenchmarkDispatch is the cost-model routing headline: a mix of

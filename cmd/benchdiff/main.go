@@ -10,6 +10,11 @@
 // per-benchmark delta table and exits 1 if any benchmark's median
 // slowed past -threshold (default 0.30 = 30%) or vanished from the
 // current run. `make benchrecord` / `make benchdiff` wrap the two.
+//
+// -metric selects a different result column than ns/op — any custom
+// b.ReportMetric unit. The Gauss guard (make gauss-bench) uses
+// `-metric conflicts` so the deterministic solver-effort count is what
+// is pinned, independent of the CI machine's wall clock.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	threshold := flag.Float64("threshold", 0.30, "relative slowdown that fails the guard")
 	note := flag.String("note", "", "note stored in a recorded baseline")
+	metric := flag.String("metric", "ns/op", "result column to guard (ns/op or a custom b.ReportMetric unit, e.g. conflicts)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -39,7 +45,7 @@ func main() {
 		defer f.Close()
 		src = f
 	}
-	samples, err := benchdiff.Parse(src)
+	samples, err := benchdiff.ParseUnit(src, *metric)
 	if err != nil {
 		fail(err)
 	}
@@ -85,6 +91,7 @@ func main() {
 	}
 	deltas, failures := benchdiff.Compare(base.Benchmarks, medians, *threshold)
 	for _, d := range deltas {
+		d.Unit = *metric
 		fmt.Println(d)
 	}
 	if len(failures) > 0 {

@@ -53,6 +53,7 @@ func main() {
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain budget after SIGTERM")
 	sessionMaxK := fs.Int("session-maxk", 16, "largest change count the per-session incremental solver encodes; larger k falls back to one-shot solves")
 	noIncremental := fs.Bool("no-incremental", false, "disable per-session solver reuse; every solve builds a fresh SAT instance (ablation)")
+	gauss := fs.Bool("gauss", false, "in-search Gaussian elimination: keep the reduced parity matrix live across decision levels in the incremental session solvers")
 	oracle := fs.String("oracle", "auto", "reconstruction backend: auto (cost-model routing), sat, sat-par, sat-inc, decode, brute or exhaustive")
 	smoke := fs.Bool("smoke", false, "run an end-to-end smoke test against an in-process server and exit")
 	_ = fs.Parse(os.Args[1:])
@@ -76,6 +77,7 @@ func main() {
 		DrainTimeout:       *drain,
 		SessionMaxK:        *sessionMaxK,
 		DisableIncremental: *noIncremental,
+		GaussInSearch:      *gauss,
 		Oracle:             *oracle,
 		Obs:                reg,
 	}

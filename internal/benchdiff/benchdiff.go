@@ -38,9 +38,19 @@ type Sample struct {
 // benchmark names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
-// ParseLine parses one line of `go test -bench` output. ok is false
-// for every non-result line (headers, PASS/ok trailers, log output).
+// ParseLine parses one line of `go test -bench` output, keeping the
+// ns/op column. ok is false for every non-result line (headers,
+// PASS/ok trailers, log output).
 func ParseLine(line string) (Sample, bool) {
+	return ParseLineUnit(line, "ns/op")
+}
+
+// ParseLineUnit parses one result line, keeping the column carrying
+// the given unit — "ns/op" for wall clock, or any custom
+// b.ReportMetric unit (e.g. "conflicts" for the Gauss guard, where the
+// deterministic solver-effort count is the quantity worth pinning and
+// wall clock merely rides along).
+func ParseLineUnit(line, unit string) (Sample, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Sample{}, false
@@ -49,10 +59,9 @@ func ParseLine(line string) (Sample, bool) {
 	if err != nil || n <= 0 {
 		return Sample{}, false
 	}
-	// Value/unit pairs follow the iteration count; ns/op is the one we
-	// keep (custom b.ReportMetric units ride alongside it).
+	// Value/unit pairs follow the iteration count.
 	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] != "ns/op" {
+		if fields[i+1] != unit {
 			continue
 		}
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -68,11 +77,18 @@ func ParseLine(line string) (Sample, bool) {
 // Parse reads a whole `go test -bench` stream and groups the ns/op
 // samples of repeated -count runs by benchmark name.
 func Parse(r io.Reader) (map[string][]float64, error) {
+	return ParseUnit(r, "ns/op")
+}
+
+// ParseUnit is Parse for an arbitrary metric unit. Benchmarks that do
+// not report the unit are simply absent from the result, so a guard
+// over a custom metric only covers the benchmarks that emit it.
+func ParseUnit(r io.Reader, unit string) (map[string][]float64, error) {
 	out := map[string][]float64{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
-		if s, ok := ParseLine(sc.Text()); ok {
+		if s, ok := ParseLineUnit(sc.Text(), unit); ok {
 			out[s.Name] = append(out[s.Name], s.NsPerOp)
 		}
 	}
@@ -80,7 +96,7 @@ func Parse(r io.Reader) (map[string][]float64, error) {
 		return nil, fmt.Errorf("benchdiff: reading bench output: %w", err)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("benchdiff: no benchmark results in input")
+		return nil, fmt.Errorf("benchdiff: no %q results in input", unit)
 	}
 	return out, nil
 }
@@ -145,7 +161,11 @@ func (b Baseline) WriteBaseline(w io.Writer) error {
 // Delta is one benchmark's baseline-vs-current comparison.
 type Delta struct {
 	Name string
-	// Base and Cur are median ns/op; 0 marks the side the benchmark is
+	// Unit labels the compared metric in String output; empty renders
+	// as ns/op, the default guard metric.
+	Unit string
+	// Base and Cur are median metric values (ns/op unless the guard
+	// selected a custom unit); 0 marks the side the benchmark is
 	// missing from.
 	Base, Cur float64
 	// Ratio is Cur/Base - 1 (+0.25 = 25% slower); 0 when either side
@@ -157,14 +177,18 @@ type Delta struct {
 }
 
 func (d Delta) String() string {
+	unit := d.Unit
+	if unit == "" {
+		unit = "ns/op"
+	}
 	switch d.Status {
 	case "missing":
-		return fmt.Sprintf("%-55s %12.0f ns/op -> MISSING from current run", d.Name, d.Base)
+		return fmt.Sprintf("%-55s %12.0f %s -> MISSING from current run", d.Name, d.Base, unit)
 	case "new":
-		return fmt.Sprintf("%-55s %12s -> %12.0f ns/op (new, no baseline)", d.Name, "-", d.Cur)
+		return fmt.Sprintf("%-55s %12s -> %12.0f %s (new, no baseline)", d.Name, "-", d.Cur, unit)
 	default:
-		return fmt.Sprintf("%-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s",
-			d.Name, d.Base, d.Cur, 100*d.Ratio, d.Status)
+		return fmt.Sprintf("%-55s %12.0f -> %12.0f %s  %+6.1f%%  %s",
+			d.Name, d.Base, d.Cur, unit, 100*d.Ratio, d.Status)
 	}
 }
 

@@ -69,6 +69,25 @@ func TestParseGroupsByName(t *testing.T) {
 	}
 }
 
+func TestParseUnitCustomMetric(t *testing.T) {
+	got, err := ParseUnit(strings.NewReader(benchOutput), "candidates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the benchmark reporting the unit appears; the presolve lines
+	// (no "candidates" column) must not leak in as zeroes.
+	if len(got) != 1 {
+		t.Fatalf("parsed %d benchmarks for candidates, want 1: %v", len(got), got)
+	}
+	xs := got["ParallelWorkers/workers=2"]
+	if len(xs) != 2 || xs[0] != 1514 || xs[1] != 1514 {
+		t.Errorf("candidates samples %v, want [1514 1514]", xs)
+	}
+	if _, err := ParseUnit(strings.NewReader(benchOutput), "conflicts"); err == nil {
+		t.Error("input without the requested unit accepted")
+	}
+}
+
 func TestMedian(t *testing.T) {
 	for _, tc := range []struct {
 		xs   []float64

@@ -65,6 +65,15 @@ type DispatchOptions struct {
 	// (default 16); DisableSession removes the session route entirely.
 	SessionMaxK    int
 	DisableSession bool
+	// GaussInSearch keeps the session solver's reduced parity matrix
+	// live across decision levels (in-search Gaussian elimination) so
+	// wide-row systems propagate mid-search instead of only when a row
+	// collapses to one literal. The routing table is unchanged — the
+	// sat-inc route simply runs with the stronger propagator — because
+	// in-search elimination is bit-exact on answers and never worse
+	// than level-0 on the wide, property-free parity systems the
+	// session route already owns.
+	GaussInSearch bool
 	// MaxNullity caps the brute route's 2^nullity coset walk
 	// (default 16 — beyond that SAT search is the better bet).
 	MaxNullity int
@@ -234,9 +243,10 @@ func (d *Dispatcher) exhaustive() Oracle {
 func (d *Dispatcher) session() (*SessionOracle, error) {
 	d.sessOnce.Do(func() {
 		d.sessO, d.sessErr = NewSessionOracle(d.enc, SessionOptions{
-			MaxK:         d.opts.sessionMaxK(),
-			MaxConflicts: d.opts.MaxConflicts,
-			Obs:          d.opts.Obs,
+			MaxK:          d.opts.sessionMaxK(),
+			MaxConflicts:  d.opts.MaxConflicts,
+			InSearchGauss: d.opts.GaussInSearch,
+			Obs:           d.opts.Obs,
 		})
 	})
 	return d.sessO, d.sessErr

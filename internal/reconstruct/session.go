@@ -37,6 +37,12 @@ type SessionOptions struct {
 	// NoGauss disables the in-solver XOR Gaussian elimination
 	// (ablation; the session then relies on watch propagation alone).
 	NoGauss bool
+	// InSearchGauss additionally keeps the reduced GF(2) matrix live
+	// ACROSS decision levels (CryptoMiniSat-style in-search
+	// elimination): parity implications and conflicts are extracted
+	// mid-search instead of only at level 0. Ignored when NoGauss is
+	// set.
+	InSearchGauss bool
 	// Obs receives the session metrics and the solver counters; nil is
 	// fully supported.
 	Obs *obs.Registry
@@ -94,6 +100,7 @@ func NewSession(enc *encoding.Encoding, opts SessionOptions) (*Session, error) {
 	bld := cnf.NewBuilder(m)
 	bld.S.Obs = opts.Obs
 	bld.S.EnableGauss = !opts.NoGauss
+	bld.S.EnableGaussInSearch = opts.InSearchGauss && !opts.NoGauss
 	vars := make([]int, m)
 	for i := range vars {
 		vars[i] = i + 1

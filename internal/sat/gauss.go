@@ -34,15 +34,20 @@ func (s *Solver) gaussEliminate() bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: gaussEliminate above level 0")
 	}
-	if len(s.xors) == s.gaussXors && len(s.trail)-s.gaussTrail < gaussRetrigger {
+	// Staleness is tracked by generation, not row count: a harvest
+	// followed by AddXorClause can restore the old len(s.xors) while
+	// the row SET differs, and a changed system must never be skipped.
+	if s.xorGen == s.gaussGen && len(s.trail)-s.gaussTrail < gaussRetrigger {
+		return true
+	}
+	s.gaussGen = s.xorGen
+	s.gaussTrail = len(s.trail)
+	if len(s.xors) == 0 {
+		// Nothing to reduce: not a Gauss run (solvers with no parity
+		// rows must report GaussRuns == 0).
 		return true
 	}
 	s.Stats.GaussRuns++
-	s.gaussXors = len(s.xors)
-	s.gaussTrail = len(s.trail)
-	if len(s.xors) == 0 {
-		return true
-	}
 
 	// Column layout: every variable still unassigned in some row, in
 	// ascending variable order — deterministic, so clones and repeated
@@ -156,10 +161,20 @@ func (s *Solver) gaussEliminate() bool {
 	}
 
 	// Swap the reduced system in wholesale: new rows, fresh watch
-	// lists. Stale xor reasons of level-0 literals are cleared — they
-	// are never dereferenced for level-0 assignments, but they must not
-	// outlive the rows they point at.
+	// lists. The discarded pre-reduction rows are tagged dead so any
+	// watch-list entry that survived the rebuild (none should today,
+	// but a stale pointer must fail closed, not resurrect a dropped
+	// row) is purged on its next visit instead of propagating a
+	// superseded constraint or pinning the row's memory alive. Stale
+	// xor reasons of level-0 literals are cleared for the same reason —
+	// they are never dereferenced for level-0 assignments, but they
+	// must not outlive the rows they point at.
+	for _, x := range s.xors {
+		x.dead = true
+	}
 	s.xors = kept
+	s.xorGen++
+	s.gaussGen = s.xorGen
 	s.xorWatches = make([][]*xorClause, s.numVars)
 	for _, x := range kept {
 		s.xorWatches[x.vars[0]] = append(s.xorWatches[x.vars[0]], x)
@@ -184,7 +199,6 @@ func (s *Solver) gaussEliminate() bool {
 	if s.propagate() != nil {
 		return false
 	}
-	s.gaussXors = len(s.xors)
 	s.gaussTrail = len(s.trail)
 	return true
 }

@@ -32,6 +32,12 @@ const (
 	MetricGaussUnits       = "sat.gauss.units"
 	MetricLearnedRetained  = "sat.learned.retained"
 
+	// In-search Gauss metrics: implications and conflicts extracted from
+	// the live matrix mid-search, and matrix (re)builds at level 0.
+	MetricGaussInSearchProps     = "sat.gauss.insearch.props"
+	MetricGaussInSearchConflicts = "sat.gauss.insearch.conflicts"
+	MetricGaussMatrixBuilds      = "sat.gauss.insearch.builds"
+
 	// Parallel-driver metrics: cube fan-out, sibling cancellations and
 	// whole-call latency of the cube-split engines.
 	MetricCubes          = "sat.parallel.cubes"
@@ -80,6 +86,10 @@ type obsInstruments struct {
 	gaussRuns        *obs.Counter
 	gaussUnits       *obs.Counter
 	learnedRetained  *obs.Gauge
+
+	gaussInSearchProps     *obs.Counter
+	gaussInSearchConflicts *obs.Counter
+	gaussMatrixBuilds      *obs.Counter
 }
 
 // instruments returns the cached instrument set for the solver's
@@ -110,6 +120,10 @@ func (s *Solver) instruments() *obsInstruments {
 		gaussRuns:        r.Counter(MetricGaussRuns),
 		gaussUnits:       r.Counter(MetricGaussUnits),
 		learnedRetained:  r.Gauge(MetricLearnedRetained),
+
+		gaussInSearchProps:     r.Counter(MetricGaussInSearchProps),
+		gaussInSearchConflicts: r.Counter(MetricGaussInSearchConflicts),
+		gaussMatrixBuilds:      r.Counter(MetricGaussMatrixBuilds),
 	}
 	return s.obsCache
 }
@@ -133,6 +147,9 @@ func (s *Solver) flushObs(before Stats, d time.Duration, st Status) {
 	in.assumptionSolves.Add(after.AssumptionSolves - before.AssumptionSolves)
 	in.gaussRuns.Add(after.GaussRuns - before.GaussRuns)
 	in.gaussUnits.Add(after.GaussUnits - before.GaussUnits)
+	in.gaussInSearchProps.Add(after.GaussInSearchProps - before.GaussInSearchProps)
+	in.gaussInSearchConflicts.Add(after.GaussInSearchConflicts - before.GaussInSearchConflicts)
+	in.gaussMatrixBuilds.Add(after.GaussMatrixBuilds - before.GaussMatrixBuilds)
 	// The learned-clause DB carried into the NEXT call of a reused
 	// solver is exactly what survives this one.
 	in.learnedRetained.Set(int64(len(s.learnts)))

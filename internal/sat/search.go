@@ -22,6 +22,11 @@ func (s *Solver) propagate() *conflictInfo {
 		if c := s.propagateXors(p.varIdx()); c != nil {
 			return c
 		}
+		if s.gmat != nil {
+			if c := s.propagateGauss(p.varIdx()); c != nil {
+				return c
+			}
+		}
 	}
 	return nil
 }
@@ -138,6 +143,10 @@ func (s *Solver) reasonLits(v int32) []lit {
 		return r.cls.lits
 	case reasonXor:
 		return s.xorReason(r.xor, v, true)
+	case reasonGauss:
+		// Materialized eagerly at propagation time: the matrix row that
+		// implied v may since have been combined away.
+		return r.lits
 	default:
 		return nil
 	}
@@ -436,8 +445,14 @@ func (s *Solver) solveWith(assumps []lit) Status {
 		s.ok = false
 		return Unsat
 	}
-	if s.EnableGauss {
+	if s.EnableGauss || s.EnableGaussInSearch {
 		if !s.gaussEliminate() {
+			s.ok = false
+			return Unsat
+		}
+	}
+	if s.EnableGaussInSearch {
+		if !s.gaussInSearchInit() {
 			s.ok = false
 			return Unsat
 		}
@@ -464,6 +479,22 @@ func (s *Solver) solveWith(assumps []lit) Status {
 		restartN++
 		s.Stats.Restarts++
 		s.cancelUntil(0)
+		if s.gmat != nil {
+			// Rebuild the matrix from the RREF basis at every restart:
+			// in-search combination monotonically densifies rows and the
+			// densified rows produce long implication reasons, which
+			// analyze() turns into long, weak learned clauses. Restarts
+			// bound that window — the rebuild resets density and pivot
+			// uniqueness, folds in any level-0 units learned since the
+			// last boundary, and sheds stale watch entries, all for one
+			// pass over the rows (measured on the planted m=512 cells:
+			// rebuilding at restarts cuts conflicts 2-4x vs carrying the
+			// combined rows across restart boundaries).
+			if !s.gaussInSearchInit() {
+				s.ok = false
+				return Unsat
+			}
+		}
 	}
 }
 
@@ -486,6 +517,24 @@ func (s *Solver) search(conflictLimit int64, budget *int64, maxLearnts *int64) (
 					s.cancelUntil(0)
 					return Unknown, true
 				}
+			}
+			// In-search Gauss can surface a conflict whose literals all
+			// sit BELOW the current decision level: a row combination
+			// leaves a row fully assigned and violated without any
+			// current-level variable in it. First-UIP analysis requires
+			// a current-level literal, so drop to the conflict's own
+			// level first — the literals stay assigned there, the
+			// conflict stays valid, and at level 0 it refutes the
+			// formula. Watch-triggered conflicts always contain the
+			// just-assigned variable, so for them this is a no-op.
+			maxL := 0
+			for _, q := range confl.lits {
+				if l := int(s.level[q.varIdx()]); l > maxL {
+					maxL = l
+				}
+			}
+			if maxL < s.decisionLevel() {
+				s.cancelUntil(maxL)
 			}
 			if s.decisionLevel() == 0 {
 				s.ok = false

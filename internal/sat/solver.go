@@ -96,12 +96,19 @@ const (
 	reasonNone reasonKind = iota
 	reasonClause
 	reasonXor
+	// reasonGauss is an implication extracted mid-search from the
+	// in-search XOR Gauss matrix. Unlike reasonXor, the clausal reason
+	// is materialized EAGERLY at propagation time (into lits): matrix
+	// rows are XOR-combined during search, so a lazy reason could read
+	// a row that no longer implies the literal it justified.
+	reasonGauss
 )
 
 type reason struct {
 	kind reasonKind
 	cls  *clause
 	xor  *xorClause
+	lits []lit // reasonGauss only: asserting literal first
 }
 
 // watcher is one entry of a literal's watch list. blocker is a literal
@@ -133,6 +140,13 @@ type Stats struct {
 	AssumptionSolves int64
 	GaussRuns        int64
 	GaussUnits       int64
+	// GaussInSearchProps and GaussInSearchConflicts count implications
+	// and conflicts extracted mid-search by the in-search XOR Gauss
+	// propagator (EnableGaussInSearch); GaussMatrixBuilds counts the
+	// level-0 matrix (re)builds that feed it.
+	GaussInSearchProps     int64
+	GaussInSearchConflicts int64
+	GaussMatrixBuilds      int64
 }
 
 // Solver is a CDCL SAT solver with XOR clauses. The zero value is not
@@ -183,12 +197,29 @@ type Solver struct {
 	// EnableGauss turns on the in-solver XOR Gaussian elimination: at
 	// the start of a solve the XOR rows are row-reduced over GF(2)
 	// (folding in level-0 assignments), and the reduced rows replace
-	// the originals in the watch scheme. gaussXors/gaussTrail remember
-	// what the last elimination saw so it only reruns when the rows or
-	// the level-0 trail changed materially.
-	EnableGauss bool
-	gaussXors   int
-	gaussTrail  int
+	// the originals in the watch scheme.
+	//
+	// EnableGaussInSearch additionally keeps the reduced matrix LIVE
+	// across decision levels (see gauss_insearch.go): dense bitset rows
+	// with two watched columns each, updated on every assignment, with
+	// implications and conflicts extracted mid-search. It implies the
+	// level-0 pass (the RREF basis seeds the matrix pivots).
+	EnableGauss         bool
+	EnableGaussInSearch bool
+	// xorGen is bumped every time the XOR row set changes (AddXorClause
+	// appending a row, or an elimination harvest swapping the set);
+	// gaussGen/gaussTrail remember what the last elimination saw so it
+	// only reruns when the rows or the level-0 trail changed materially.
+	// Comparing generations instead of row COUNTS closes the staleness
+	// hole where a harvest plus a later AddXorClause left len(xors)
+	// unchanged while the row set differed.
+	xorGen     uint64
+	gaussGen   uint64
+	gaussTrail int
+	// gmat is the in-search Gauss matrix, nil until the first solve
+	// with EnableGaussInSearch set (and after that rebuilt whenever
+	// xorGen moves past the generation it was built from).
+	gmat *gaussMatrix
 
 	ok bool // false once a top-level conflict is found
 
@@ -441,6 +472,7 @@ func (s *Solver) AddXorClause(vars []int, rhs bool) error {
 	x := &xorClause{vars: vs, rhs: rhs}
 	x.w[0], x.w[1] = 0, 1
 	s.xors = append(s.xors, x)
+	s.xorGen++
 	s.xorWatches[vs[0]] = append(s.xorWatches[vs[0]], x)
 	s.xorWatches[vs[1]] = append(s.xorWatches[vs[1]], x)
 	return nil
@@ -707,14 +739,29 @@ func (s *Solver) Clone() *Solver {
 	}
 	n.model = append([]int8(nil), s.model...)
 	n.EnableGauss = s.EnableGauss
-	n.gaussXors = s.gaussXors
+	n.EnableGaussInSearch = s.EnableGaussInSearch
+	n.xorGen = s.xorGen
+	n.gaussGen = s.gaussGen
 	n.gaussTrail = s.gaussTrail
 
+	// Rows absorbed into the in-search matrix are not clause-watched in
+	// the original, and must not be in the clone either — the cloned
+	// matrix carries them. Rows appended after the matrix was built (a
+	// suffix of xors, re-absorbed at the clone's next solve) keep their
+	// watch-list entries.
+	absorbed := 0
+	if s.gmat != nil {
+		n.gmat = s.gmat.clone()
+		absorbed = s.gmat.nAbsorbed
+	}
 	n.xorWatches = make([][]*xorClause, s.numVars)
 	n.xors = make([]*xorClause, 0, len(s.xors))
-	for _, x := range s.xors {
+	for i, x := range s.xors {
 		nx := &xorClause{vars: append([]int32(nil), x.vars...), rhs: x.rhs, w: x.w}
 		n.xors = append(n.xors, nx)
+		if i < absorbed {
+			continue
+		}
 		n.xorWatches[nx.vars[nx.w[0]]] = append(n.xorWatches[nx.vars[nx.w[0]]], nx)
 		n.xorWatches[nx.vars[nx.w[1]]] = append(n.xorWatches[nx.vars[nx.w[1]]], nx)
 	}

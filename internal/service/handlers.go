@@ -315,6 +315,7 @@ func (s *Server) dispatchOptions() reconstruct.DispatchOptions {
 		Workers:        1,
 		SessionMaxK:    s.cfg.SessionMaxK,
 		DisableSession: s.cfg.DisableIncremental,
+		GaussInSearch:  s.cfg.GaussInSearch,
 		MaxConflicts:   s.cfg.MaxConflicts,
 		Obs:            s.obs,
 	}

@@ -155,6 +155,11 @@ type Config struct {
 	// DisableIncremental turns off per-session solver reuse: every
 	// solve builds a fresh SAT instance (ablation/debug).
 	DisableIncremental bool
+	// GaussInSearch enables in-search Gaussian elimination in the
+	// incremental session solvers: the reduced parity matrix stays live
+	// across decision levels, extracting implications and conflicts
+	// mid-search (the -gauss daemon flag).
+	GaussInSearch bool
 	// MaxBatchJobs bounds the jobs one /v1/batch request may carry
 	// (default 256); BatchParallelism bounds how many of a batch's
 	// entries solve concurrently (default Workers). Note the whole
