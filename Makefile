@@ -35,7 +35,7 @@ GAUSS_FLAGS    = -run='^$$' -bench='$(GAUSS_GUARD)' -count=5 -benchtime=1x .
 # latencies on a shared CI box, not isolated CPU benchmarks.
 LOAD_BASELINE = BENCH_PR8.json
 
-.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check gauss-bench gauss-bench-record gauss-check metrics-smoke timeprintd service-smoke load-smoke load-bench load-bench-record fuzz-smoke
+.PHONY: check fmt vet build test race bench-smoke diffcheck benchdiff benchrecord session-bench session-bench-record dispatch-bench dispatch-bench-record dispatch-check gauss-bench gauss-bench-record gauss-check metrics-smoke timeprintd service-smoke store-smoke load-smoke load-bench load-bench-record fuzz-smoke
 
 # check is the canonical verification gate: formatting, vet, build,
 # the full test suite under the race detector, and a single-pass run
@@ -140,6 +140,19 @@ service-smoke:
 	$(GO) run ./cmd/timeprintd -smoke
 	$(GO) test -race -count=1 ./internal/service/
 
+# store-smoke proves the durable log store end to end: the logstore
+# invariant battery (crash-recovery matrix, compaction property test,
+# concurrency hammer) under the race detector, the store/query/mine
+# surfaces of the service and experiments packages, the timeprintd
+# smoke (whose store leg ingests, queries, restarts the daemon on the
+# same directory and re-queries identically), and the load harness
+# with the store tee contract asserted. CI runs this as its own job.
+store-smoke:
+	$(GO) test -race -count=1 ./internal/logstore/
+	$(GO) test -race -count=1 -run 'Store|Query|Mine' ./internal/service/ ./internal/experiments/
+	$(GO) run ./cmd/timeprintd -smoke
+	$(GO) run ./cmd/tprload -self -store
+
 # load-smoke drives a self-contained timeprintd through the tprload
 # request mixes (cache-hot, cold sessions, batch, stream, malformed,
 # overload) and asserts the operational contract: latency SLOs, the
@@ -163,6 +176,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadLog -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=10s ./internal/service/
 	$(GO) test -run='^$$' -fuzz=FuzzXorSystem -fuzztime=10s ./internal/sat/
+	$(GO) test -run='^$$' -fuzz=FuzzSegment -fuzztime=10s ./internal/logstore/
 
 metrics-smoke:
 	$(GO) run ./cmd/timeprint selfcheck -cases 40 -metrics /tmp/timeprint-metrics.json

@@ -12,6 +12,8 @@
 //	timeprint rate -m 1024 -b 24 -clock 100e6    logging bit-rate
 //	timeprint selfcheck -seed 1 -cases 200       differential oracle check
 //	timeprint stats -in metrics.json             pretty-print a metrics dump
+//	timeprint mine -store DIR -ref-device NAME   fleet anomaly mining over
+//	              a timeprintd log store (see -store-dir)
 //
 // The wire dump format is one '0' or '1' per clock-cycle (whitespace
 // ignored). Reconstruction prints one candidate change-map per line,
@@ -73,13 +75,15 @@ func main() {
 		cmdSelfcheck(args)
 	case "stats":
 		cmdStats(args)
+	case "mine":
+		cmdMine(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: timeprint encode|minb|log|reconstruct|decode|rate|selfcheck|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: timeprint encode|minb|log|reconstruct|decode|rate|selfcheck|stats|mine [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/logstore"
+)
+
+// cmdMine runs fleet-scale anomaly mining over a timeprintd log store
+// directory: every device's stored timeprints are compared against the
+// reference device's stream of the same signal with the Section 5.2.2
+// refresh-delay/k-mismatch detection, and the population's mismatch
+// onsets are summarized.
+//
+//	timeprint mine -store DIR -ref-device NAME [-signal S]
+//	    [-from-us N] [-to-us N] [-parallel N] [-json]
+func cmdMine(args []string) {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	storeDir := fs.String("store", "", "log store directory (timeprintd -store-dir)")
+	refDevice := fs.String("ref-device", "", "reference device name (the golden unit or simulation twin)")
+	signal := fs.String("signal", "", "mine only this signal (default: every signal the reference has)")
+	fromUS := fs.Int64("from-us", 0, "earliest stored epoch to consider (Unix microseconds)")
+	toUS := fs.Int64("to-us", 0, "latest stored epoch to consider (0 = unbounded)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "device streams compared concurrently")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	setupObs := obsFlags(fs)
+	_ = fs.Parse(args)
+	if *storeDir == "" || *refDevice == "" {
+		fail(fmt.Errorf("mine needs -store and -ref-device"))
+	}
+	reg, flush := setupObs()
+
+	st, rec, err := logstore.Open(*storeDir, logstore.Options{Obs: reg})
+	if err != nil {
+		fail(err)
+	}
+	defer st.Close()
+	if rec.Corrupt() {
+		fmt.Fprintf(os.Stderr, "mine: store recovery salvaged %d record(s) across %d segment(s), dropped %d damaged byte(s):\n",
+			rec.Records, rec.Segments, rec.TruncatedBytes)
+		for _, e := range rec.Errs {
+			fmt.Fprintf(os.Stderr, "mine:   %v\n", e)
+		}
+	}
+
+	rep, err := experiments.MineStore(st, experiments.MineConfig{
+		RefDevice: *refDevice,
+		Signal:    *signal,
+		From:      *fromUS,
+		To:        *toUS,
+		Parallel:  *parallel,
+		Obs:       reg,
+	})
+	if err != nil {
+		fail(err)
+	}
+	flush()
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("reference device: %s\n", rep.RefDevice)
+	for _, p := range rep.Populations {
+		fmt.Printf("signal %s: %d compared, %d affected", p.Signal, p.Compared, p.Affected)
+		if p.Failed > 0 {
+			fmt.Printf(", %d failed", p.Failed)
+		}
+		if p.Affected > 0 {
+			fmt.Printf("; onset min/median/max = %d/%d/%d", p.OnsetMin, p.OnsetMedian, p.OnsetMax)
+		}
+		fmt.Println()
+	}
+	for _, d := range rep.Devices {
+		switch {
+		case d.Err != "":
+			fmt.Printf("  %s/%s: FAILED: %s\n", d.Device, d.Signal, d.Err)
+		case !d.Affected():
+			fmt.Printf("  %s/%s: clean (%d cycles, %d records)\n", d.Device, d.Signal, d.Cycles, d.Records)
+		default:
+			fmt.Printf("  %s/%s: first mismatch at trace-cycle %d (%d k-mismatches, %d tp-mismatches over %d cycles)\n",
+				d.Device, d.Signal, d.FirstMismatch, d.KMismatches, len(d.TPMismatches), d.Cycles)
+		}
+	}
+}

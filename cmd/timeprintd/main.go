@@ -5,7 +5,17 @@
 // and serving semantics).
 //
 //	timeprintd -addr :8080 -httpobs :6060
+//	timeprintd -addr :8080 -store-dir /var/lib/timeprintd
 //	timeprintd -smoke          # self-contained end-to-end smoke test
+//
+// With -store-dir every ingested wire log — unary request bodies and
+// streaming-ingest frames alike — is also appended to a durable
+// segmented log store (internal/logstore) keyed by (device, signal,
+// epoch), and two forensic endpoints open up: GET /v1/logs lists and
+// ranges the stored streams, POST /v1/query replays stored frames
+// through the same reconstruction pipeline as live requests. The
+// store recovers crash-torn tails on open and enforces retention by
+// dropping whole sealed segments (-store-max-segments).
 //
 // The daemon sheds load with 429 once its admission queue fills,
 // enforces per-request deadlines by interrupting the SAT solver
@@ -34,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/reconstruct"
 	"repro/internal/service"
@@ -55,6 +66,9 @@ func main() {
 	noIncremental := fs.Bool("no-incremental", false, "disable per-session solver reuse; every solve builds a fresh SAT instance (ablation)")
 	gauss := fs.Bool("gauss", false, "in-search Gaussian elimination: keep the reduced parity matrix live across decision levels in the incremental session solvers")
 	oracle := fs.String("oracle", "auto", "reconstruction backend: auto (cost-model routing), sat, sat-par, sat-inc, decode, brute or exhaustive")
+	storeDir := fs.String("store-dir", "", "durable log store directory: ingested wire logs are persisted here and served back via /v1/logs and /v1/query (empty disables)")
+	storeSegBytes := fs.Int64("store-segment-bytes", 0, "log store segment size before rotation (0 = default)")
+	storeMaxSegments := fs.Int("store-max-segments", 0, "retention: drop oldest sealed segments beyond this many (0 = keep everything)")
 	smoke := fs.Bool("smoke", false, "run an end-to-end smoke test against an in-process server and exit")
 	_ = fs.Parse(os.Args[1:])
 	if !reconstruct.KnownOracle(*oracle) {
@@ -92,13 +106,40 @@ func main() {
 		return
 	}
 
+	if *storeDir != "" {
+		st, rec, err := logstore.Open(*storeDir, logstore.Options{
+			SegmentBytes: *storeSegBytes,
+			MaxSegments:  *storeMaxSegments,
+			Obs:          reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeprintd:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		if rec.Corrupt() {
+			fmt.Fprintf(os.Stderr, "timeprintd: store recovery salvaged %d record(s) across %d segment(s), dropped %d damaged byte(s)\n",
+				rec.Records, rec.Segments, rec.TruncatedBytes)
+			for _, e := range rec.Errs {
+				fmt.Fprintf(os.Stderr, "timeprintd:   %v\n", e)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "timeprintd: log store at %s (%d record(s) across %d segment(s))\n",
+			st.Dir(), rec.Records, rec.Segments)
+		cfg.Store = st
+	}
+
 	srv := service.New(cfg)
 	bound, err := srv.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "timeprintd:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "timeprintd: serving /v1/{reconstruct,count,compare,batch} on http://%s\n", bound)
+	endpoints := "/v1/{reconstruct,count,compare,batch}"
+	if cfg.Store != nil {
+		endpoints = "/v1/{reconstruct,count,compare,batch,logs,query}"
+	}
+	fmt.Fprintf(os.Stderr, "timeprintd: serving %s on http://%s\n", endpoints, bound)
 	if *streamAddr != "" {
 		fmt.Fprintf(os.Stderr, "timeprintd: streaming ingest on %s\n", srv.StreamAddr())
 	}
@@ -341,7 +382,198 @@ func runSmoke(cfg service.Config, reg *obs.Registry) error {
 			return fmt.Errorf("counter %s moved by %d across batch+stream, want %d", counter, got, want)
 		}
 	}
+	if err := smokeStore(cfg); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	return nil
+}
+
+// smokeStore proves the durable-store acceptance path end to end: a
+// server with -store-dir ingests one wire log over HTTP and one frame
+// over the stream listener, both tee into the store, /v1/logs lists
+// them and /v1/query replays the stored frames bit-identically to the
+// request-body path — then the server AND store are torn down and
+// reopened on the same directory, and the historical query still
+// answers identically from disk.
+func smokeStore(cfg service.Config) error {
+	dir, err := os.MkdirTemp("", "timeprintd-smoke-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const m, b = 32, 11
+	enc, err := encoding.Incremental(m, b, 4)
+	if err != nil {
+		return err
+	}
+	truth := core.SignalFromChanges(m, 3, 9)
+	var wire bytes.Buffer
+	if err := core.WriteLog(&wire, m, b, []core.LogEntry{core.Log(enc, truth)}); err != nil {
+		return err
+	}
+	var streamWire bytes.Buffer
+	if err := core.WriteLog(&streamWire, m, b, []core.LogEntry{core.Log(enc, core.SignalFromChanges(m, 7))}); err != nil {
+		return err
+	}
+
+	// One "server generation": open the store, serve, run fn, drain.
+	withServer := func(fn func(base, streamAddr string) error) error {
+		st, rec, err := logstore.Open(dir, logstore.Options{Obs: cfg.Obs})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if rec.Corrupt() {
+			return fmt.Errorf("smoke store dir corrupt on open: %v", rec.Errs)
+		}
+		gen := cfg
+		gen.Addr = "127.0.0.1:0"
+		gen.StreamAddr = "127.0.0.1:0"
+		gen.Store = st
+		srv := service.New(gen)
+		bound, err := srv.Start()
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		return fn("http://"+bound.String(), srv.StreamAddr().String())
+	}
+
+	// The request-body answer the stored replay must match. The replay
+	// legitimately hits the LRU the body path just filled, so the
+	// cached/coalesced markers are volatile and excluded from the
+	// equivalence.
+	var bodyAnswer []any
+	stripVolatile := func(results []any) []any {
+		for _, r := range results {
+			if m, ok := r.(map[string]any); ok {
+				delete(m, "cached")
+				delete(m, "coalesced")
+			}
+		}
+		return results
+	}
+	queryStore := func(base string) ([]any, error) {
+		req, _ := json.Marshal(map[string]any{
+			"device": "smoke-dev", "signal": "bus",
+			"encoding": map[string]any{"scheme": "incremental", "m": m, "b": b, "depth": 4},
+			"limit":    -1,
+		})
+		resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(req))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("/v1/query: HTTP %d: %s", resp.StatusCode, raw)
+		}
+		var out struct {
+			Records []any `json:"records"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, err
+		}
+		return out.Records, nil
+	}
+
+	err = withServer(func(base, streamAddr string) error {
+		// Unary ingest with identity: tees into the store.
+		resp, err := http.Post(base+"/v1/reconstruct?scheme=incremental&depth=4&limit=-1&device=smoke-dev&signal=bus&epoch_us=1000",
+			"application/octet-stream", bytes.NewReader(wire.Bytes()))
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, raw)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(raw, &body); err != nil {
+			return err
+		}
+		bodyAnswer = stripVolatile(body["results"].([]any))
+
+		// Stream ingest tees too, under the hello's identity.
+		sc, err := service.DialStream(streamAddr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer sc.Close()
+		if _, err := sc.Hello(service.StreamHello{
+			Device: "smoke-dev", Signal: "net", Encoding: service.EncodingSpec{M: m, B: b}, CountOnly: true,
+		}); err != nil {
+			return err
+		}
+		if msg, err := sc.SendFrame(streamWire.Bytes()); err != nil || msg.Status != 0 {
+			return fmt.Errorf("stream frame: %v (status %v)", err, msg)
+		}
+		if _, err := sc.End(); err != nil {
+			return err
+		}
+
+		// Both streams visible in the range listing.
+		lr, err := http.Get(base + "/v1/logs")
+		if err != nil {
+			return err
+		}
+		defer lr.Body.Close()
+		var listing struct {
+			Keys []struct {
+				Device  string `json:"device"`
+				Signal  string `json:"signal"`
+				Records int    `json:"records"`
+			} `json:"keys"`
+		}
+		if err := json.NewDecoder(lr.Body).Decode(&listing); err != nil {
+			return err
+		}
+		if len(listing.Keys) != 2 {
+			return fmt.Errorf("/v1/logs listed %d keys, want 2 (%+v)", len(listing.Keys), listing.Keys)
+		}
+
+		// Historical replay matches the live request-body answer.
+		recs, err := queryStore(base)
+		if err != nil {
+			return err
+		}
+		if len(recs) != 1 {
+			return fmt.Errorf("first-generation /v1/query returned %d records, want 1", len(recs))
+		}
+		got, _ := json.Marshal(stripVolatile(recs[0].(map[string]any)["results"].([]any)))
+		want, _ := json.Marshal(bodyAnswer)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("stored replay diverged from request-body answer:\n  body:  %s\n  store: %s", want, got)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Second generation: fresh server and store on the same directory —
+	// the restart-persistence acceptance criterion.
+	return withServer(func(base, _ string) error {
+		recs, err := queryStore(base)
+		if err != nil {
+			return err
+		}
+		if len(recs) != 1 {
+			return fmt.Errorf("post-restart /v1/query returned %d records, want 1", len(recs))
+		}
+		got, _ := json.Marshal(stripVolatile(recs[0].(map[string]any)["results"].([]any)))
+		want, _ := json.Marshal(bodyAnswer)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("post-restart replay diverged from request-body answer:\n  body:  %s\n  store: %s", want, got)
+		}
+		return nil
+	})
 }
 
 // smokeBatch drives POST /v1/batch: three jobs (a wire log, a

@@ -6,6 +6,7 @@
 // malformed-traffic rejection.
 //
 //	tprload -self                          # CI smoke: spawn + assert
+//	tprload -self -store                   # spawn with a durable log store
 //	tprload -addr http://host:8080 -stream-addr host:9090
 //	tprload -self -bench -count 5          # emit benchdiff-style lines
 //
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/load"
+	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -44,6 +46,7 @@ func main() {
 	streamFrames := flag.Int("stream-frames", 4, "stream phase: frames")
 	frameEntries := flag.Int("frame-entries", 4, "entries per stream frame")
 	queueDepth := flag.Int("queue-depth", 0, "server queue depth for the overload probe (0 skips; -self sets it)")
+	store := flag.Bool("store", false, "assert the -store-dir tee contract; with -self the spawned server gets a temporary durable log store")
 
 	hotP50 := flag.Duration("hot-p50", 250*time.Millisecond, "SLO: hot-mix p50 budget (0 disables)")
 	hotP99 := flag.Duration("hot-p99", 2*time.Second, "SLO: hot-mix p99 budget (0 disables)")
@@ -69,6 +72,7 @@ func main() {
 		StreamFrames: *streamFrames,
 		FrameEntries: *frameEntries,
 		QueueDepth:   *queueDepth,
+		ExpectStore:  *store,
 		SLO: load.SLO{
 			HotP50:      *hotP50,
 			HotP99:      *hotP99,
@@ -83,12 +87,28 @@ func main() {
 		// overload probe stays cheap, metrics on (the harness scrapes
 		// them).
 		const selfQueueDepth = 16
-		srv := service.New(service.Config{
+		reg := obs.NewRegistry()
+		selfCfg := service.Config{
 			Addr:       "127.0.0.1:0",
 			StreamAddr: "127.0.0.1:0",
 			QueueDepth: selfQueueDepth,
-			Obs:        obs.NewRegistry(),
-		})
+			Obs:        reg,
+		}
+		if *store {
+			dir, err := os.MkdirTemp("", "tprload-store-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, _, err := logstore.Open(dir, logstore.Options{NoSync: true, Obs: reg})
+			if err != nil {
+				fatal(err)
+			}
+			defer st.Close()
+			selfCfg.Store = st
+			logf("tprload: durable log store at %s", dir)
+		}
+		srv := service.New(selfCfg)
 		httpAddr, err := srv.Start()
 		if err != nil {
 			fatal(err)

@@ -18,6 +18,12 @@ const (
 	MetricWireBytesIn  = "core.wire.bytes_in"
 	// MetricWireEntriesOut counts entries serialized by WriteLog.
 	MetricWireEntriesOut = "core.wire.entries_out"
+	// MetricWireFramesStored / MetricWireBytesStored count wire-log
+	// frames (and their body bytes) handed to a durable store — credited
+	// by internal/logstore so the core observer carries the full
+	// serialize → transmit → persist pipeline.
+	MetricWireFramesStored = "core.wire.frames_stored"
+	MetricWireBytesStored  = "core.wire.bytes_stored"
 )
 
 // observer is the package-level registry for the core layer's free

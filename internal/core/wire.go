@@ -146,6 +146,38 @@ func ReadLog(r io.Reader) (m, b int, entries []LogEntry, err error) {
 // occupy on the wire (header excluded).
 func PayloadBits(m, b, n int) int { return n * BitsPerTraceCycle(b, m) }
 
+// PeekLogHeader validates the 16-byte wire-log header at the front of
+// p and returns its (m, b, n) fields without decoding any entries —
+// the cheap classification the log store and listing endpoints use.
+// The same plausibility bounds as ReadLog apply; failures wrap
+// ErrCorrupt.
+func PeekLogHeader(p []byte) (m, b, n int, err error) {
+	if len(p) < 16 {
+		return 0, 0, 0, fmt.Errorf("core: %d byte(s) is too short for a log header: %w", len(p), ErrCorrupt)
+	}
+	if magic := binary.LittleEndian.Uint32(p[0:]); magic != wireMagic {
+		return 0, 0, 0, fmt.Errorf("core: bad log magic %#x: %w", magic, ErrCorrupt)
+	}
+	m = int(binary.LittleEndian.Uint32(p[4:]))
+	b = int(binary.LittleEndian.Uint32(p[8:]))
+	un := binary.LittleEndian.Uint32(p[12:])
+	if m <= 0 || b <= 0 || m > 1<<24 || b > 1<<20 {
+		return 0, 0, 0, fmt.Errorf("core: implausible log header m=%d b=%d: %w", m, b, ErrCorrupt)
+	}
+	if un > 1<<28 {
+		return 0, 0, 0, fmt.Errorf("core: implausible entry count %d: %w", un, ErrCorrupt)
+	}
+	return m, b, int(un), nil
+}
+
+// IsWireLog reports whether p starts with a plausible wire-log header.
+// It does NOT validate the payload — use ReadLog for that; this is the
+// shallow shape check storage layers apply before accepting a body.
+func IsWireLog(p []byte) bool {
+	_, _, _, err := PeekLogHeader(p)
+	return err == nil
+}
+
 type bitWriter struct {
 	w   io.ByteWriter
 	cur byte

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/logstore"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Fleet mining over the durable log store (the ROADMAP's
+// "fleet-scale anomaly mining" half of the forensic engine): one
+// device in the fleet — typically a golden/reference unit or an RTL
+// simulation twin whose logs were ingested like any other device's —
+// serves as the reference, and every other device's stored timeprints
+// for the same signal are compared against it with the Section 5.2.2
+// refresh-delay/k-mismatch detection. The output is population-level:
+// which devices diverge, and how the mismatch onsets distribute (the
+// paper's "as early as the 3rd to as late as the 28th trace-cycle"
+// observation, measured across a fleet instead of an ambient sweep).
+
+// Mining metric names.
+const (
+	SpanMine           = "experiments.mine"
+	MetricMineDevices  = "experiments.mine.devices"
+	MetricMineAffected = "experiments.mine.affected"
+)
+
+// MineConfig parameterizes MineStore.
+type MineConfig struct {
+	// RefDevice is the reference device's name (required); every other
+	// device's streams are compared against its stream of the same
+	// signal.
+	RefDevice string
+	// Signal restricts mining to one signal name; empty mines every
+	// signal the reference device has stored.
+	Signal string
+	// From and To bound the stored epochs considered (inclusive,
+	// Unix microseconds); To == 0 means unbounded.
+	From, To int64
+	// Parallel bounds the worker pool comparing device streams; <= 1 is
+	// serial.
+	Parallel int
+	// Obs receives the mining metrics; nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// DeviceReport is one compared device stream.
+type DeviceReport struct {
+	Device  string `json:"device"`
+	Signal  string `json:"signal"`
+	Records int    `json:"records"`
+	// Cycles is how many trace-cycles were compared (bounded by the
+	// shorter of the device's and the reference's histories).
+	Cycles int `json:"cycles_compared"`
+	// KMismatches counts trace-cycles with differing change counts (the
+	// wait-state-bug signature); TPMismatches lists trace-cycles whose
+	// timeprints differ at equal k (the refresh signature).
+	KMismatches  int   `json:"k_mismatches"`
+	TPMismatches []int `json:"tp_mismatches,omitempty"`
+	// FirstMismatch is the earliest mismatching trace-cycle of either
+	// kind, -1 when the device agrees with the reference.
+	FirstMismatch int `json:"first_mismatch"`
+	// Err reports a stream that could not be compared (geometry
+	// mismatch with the reference, undecodable stored frame) without
+	// aborting the rest of the fleet.
+	Err string `json:"error,omitempty"`
+}
+
+// Affected reports whether the device diverged from the reference.
+func (d DeviceReport) Affected() bool {
+	return d.Err == "" && (d.KMismatches > 0 || len(d.TPMismatches) > 0)
+}
+
+// PopulationSummary aggregates a signal's fleet into onset statistics.
+type PopulationSummary struct {
+	Signal string `json:"signal"`
+	// Compared counts device streams diffed against the reference;
+	// Affected those with at least one mismatch; Failed those whose
+	// streams could not be compared.
+	Compared int `json:"compared"`
+	Affected int `json:"affected"`
+	Failed   int `json:"failed,omitempty"`
+	// Onset statistics over the affected devices' FirstMismatch values.
+	// Meaningful only when Affected > 0.
+	OnsetMin    int `json:"onset_min"`
+	OnsetMedian int `json:"onset_median"`
+	OnsetMax    int `json:"onset_max"`
+}
+
+// MineReport is the outcome of one MineStore run.
+type MineReport struct {
+	RefDevice string `json:"ref_device"`
+	// Devices holds every compared stream, sorted by (signal, device).
+	Devices []DeviceReport `json:"devices"`
+	// Populations summarizes each mined signal, sorted by signal.
+	Populations []PopulationSummary `json:"populations"`
+}
+
+// MineStore walks the store and compares every device's streams
+// against the reference device's stream of the same signal. Devices
+// that cannot be compared are reported per-device, not fatally; only a
+// missing reference or a store-level failure aborts the run.
+func MineStore(st *logstore.Store, cfg MineConfig) (*MineReport, error) {
+	defer cfg.Obs.StartSpan(SpanMine).End()
+	if cfg.RefDevice == "" {
+		return nil, fmt.Errorf("experiments: mine needs a reference device")
+	}
+	from, to := cfg.From, cfg.To
+	if to == 0 {
+		to = 1<<63 - 1
+	}
+
+	keys := st.Keys()
+	// The reference device's signals define what is minable.
+	refSignals := map[string]bool{}
+	for _, k := range keys {
+		if k.Device == cfg.RefDevice && (cfg.Signal == "" || k.Signal == cfg.Signal) {
+			refSignals[k.Signal] = true
+		}
+	}
+	if len(refSignals) == 0 {
+		if cfg.Signal != "" {
+			return nil, fmt.Errorf("experiments: reference device %q has no stored stream for signal %q", cfg.RefDevice, cfg.Signal)
+		}
+		return nil, fmt.Errorf("experiments: reference device %q has no stored streams", cfg.RefDevice)
+	}
+
+	// Build each reference signal's trace store once.
+	refStores := map[string]*trace.Store{}
+	for sig := range refSignals {
+		ref, _, err := loadTraceStore(st, cfg.RefDevice, sig, from, to)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: reference %s/%s: %w", cfg.RefDevice, sig, err)
+		}
+		refStores[sig] = ref
+	}
+
+	// Fan the fleet's streams out across the pool.
+	var targets []logstore.KeyInfo
+	for _, k := range keys {
+		if k.Device != cfg.RefDevice && refSignals[k.Signal] {
+			targets = append(targets, k)
+		}
+	}
+	reports := make([]DeviceReport, len(targets))
+	runPoolMetered(len(targets), cfg.Parallel, cfg.Obs, PoolName, func(i int) {
+		k := targets[i]
+		reports[i] = mineDevice(st, refStores[k.Signal], k, from, to)
+	})
+
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Signal != reports[j].Signal {
+			return reports[i].Signal < reports[j].Signal
+		}
+		return reports[i].Device < reports[j].Device
+	})
+	rep := &MineReport{RefDevice: cfg.RefDevice, Devices: reports}
+	rep.Populations = summarize(reports)
+	cfg.Obs.Counter(MetricMineDevices).Add(int64(len(reports)))
+	for _, p := range rep.Populations {
+		cfg.Obs.Counter(MetricMineAffected).Add(int64(p.Affected))
+	}
+	return rep, nil
+}
+
+// mineDevice compares one device stream against the reference.
+func mineDevice(st *logstore.Store, ref *trace.Store, k logstore.KeyInfo, from, to int64) DeviceReport {
+	rep := DeviceReport{Device: k.Device, Signal: k.Signal, FirstMismatch: -1}
+	dev, records, err := loadTraceStore(st, k.Device, k.Signal, from, to)
+	rep.Records = records
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	if dev.M != ref.M || dev.B != ref.B {
+		rep.Err = fmt.Sprintf("geometry (m=%d, b=%d) differs from reference (m=%d, b=%d)", dev.M, dev.B, ref.M, ref.B)
+		return rep
+	}
+	mms, err := trace.Compare(ref, dev)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	rep.Cycles = min(ref.Len(), dev.Len())
+	for _, mm := range mms {
+		if mm.KDiffers {
+			rep.KMismatches++
+		}
+		if mm.TPDiffers {
+			rep.TPMismatches = append(rep.TPMismatches, mm.TraceCycle)
+		}
+	}
+	rep.FirstMismatch = trace.FirstMismatch(mms)
+	return rep
+}
+
+// loadTraceStore decodes one stream's stored frames (epoch order) into
+// a trace.Store, returning how many records were loaded. Geometry must
+// be uniform across the stream's frames; a frame that fails decode
+// fails the load (the store's fail-closed rule extended to mining).
+func loadTraceStore(st *logstore.Store, device, signal string, from, to int64) (*trace.Store, int, error) {
+	recs, err := st.Query(logstore.Query{Device: device, Signal: signal, From: from, To: to})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(recs) == 0 {
+		return nil, 0, fmt.Errorf("no stored records in range")
+	}
+	var ts *trace.Store
+	for i, rec := range recs {
+		m, b, entries, err := core.ReadLog(bytes.NewReader(rec.Body))
+		if err != nil {
+			return nil, i, fmt.Errorf("stored frame at epoch %d: %w", rec.Epoch, err)
+		}
+		if ts == nil {
+			ts = trace.NewStore(device+"/"+signal, 0, m, b)
+		} else if m != ts.M || b != ts.B {
+			return nil, i, fmt.Errorf("stored frame at epoch %d switches geometry to (m=%d, b=%d) from (m=%d, b=%d)",
+				rec.Epoch, m, b, ts.M, ts.B)
+		}
+		if err := ts.Append(entries...); err != nil {
+			return nil, i, err
+		}
+	}
+	return ts, len(recs), nil
+}
+
+// summarize folds per-device reports into per-signal population
+// statistics.
+func summarize(reports []DeviceReport) []PopulationSummary {
+	bySignal := map[string]*PopulationSummary{}
+	onsets := map[string][]int{}
+	for _, d := range reports {
+		p := bySignal[d.Signal]
+		if p == nil {
+			p = &PopulationSummary{Signal: d.Signal}
+			bySignal[d.Signal] = p
+		}
+		if d.Err != "" {
+			p.Failed++
+			continue
+		}
+		p.Compared++
+		if d.Affected() {
+			p.Affected++
+			onsets[d.Signal] = append(onsets[d.Signal], d.FirstMismatch)
+		}
+	}
+	out := make([]PopulationSummary, 0, len(bySignal))
+	for sig, p := range bySignal {
+		if on := onsets[sig]; len(on) > 0 {
+			sort.Ints(on)
+			p.OnsetMin = on[0]
+			p.OnsetMedian = on[len(on)/2]
+			p.OnsetMax = on[len(on)-1]
+		}
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signal < out[j].Signal })
+	return out
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/logstore"
+	"repro/internal/obs"
+)
+
+// mineFleetStore synthesizes a small fleet into a logstore: the
+// reference device logs the clean signal trace; each drifted device
+// replays it with one change delayed by a cycle from its onset
+// trace-cycle on (same k, different TP — the refresh signature).
+func mineFleetStore(t *testing.T, dir string) *logstore.Store {
+	t.Helper()
+	const m, b, cycles = 16, 8, 12
+	enc, err := encoding.Incremental(m, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := core.SignalFromChanges(m, 3, 9)
+	delayed := core.SignalFromChanges(m, 4, 9) // change 3 slipped to 4
+
+	st, _, err := logstore.Open(dir, logstore.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	appendTrace := func(device string, onset int) {
+		for tc := 0; tc < cycles; tc++ {
+			sig := clean
+			if onset >= 0 && tc >= onset {
+				sig = delayed
+			}
+			var buf bytes.Buffer
+			if err := core.WriteLog(&buf, m, b, []core.LogEntry{core.Log(enc, sig)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Append(logstore.Record{
+				Device: device, Signal: "addr",
+				Epoch: int64(1000 + tc), TraceCycleBase: int64(tc),
+				Body: buf.Bytes(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	appendTrace("ref-unit", -1) // the golden reference: never drifts
+	appendTrace("ecu-clean", -1)
+	appendTrace("ecu-early", 2)
+	appendTrace("ecu-late", 8)
+
+	// A device stored under a different geometry: must be reported as
+	// failed, not compared and not fatal.
+	var buf bytes.Buffer
+	enc8, err := encoding.Incremental(8, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteLog(&buf, 8, 6, []core.LogEntry{core.Log(enc8, core.SignalFromChanges(8, 2))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(logstore.Record{
+		Device: "ecu-weird", Signal: "addr", Epoch: 1000, Body: buf.Bytes(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestMineStore(t *testing.T) {
+	st := mineFleetStore(t, t.TempDir())
+	reg := obs.NewRegistry()
+	rep, err := MineStore(st, MineConfig{RefDevice: "ref-unit", Parallel: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 4 {
+		t.Fatalf("compared %d devices, want 4", len(rep.Devices))
+	}
+	byDevice := map[string]DeviceReport{}
+	for _, d := range rep.Devices {
+		byDevice[d.Device] = d
+	}
+	if d := byDevice["ecu-clean"]; d.Affected() || d.FirstMismatch != -1 || d.Cycles != 12 {
+		t.Fatalf("ecu-clean = %+v, want clean over 12 cycles", d)
+	}
+	if d := byDevice["ecu-early"]; d.FirstMismatch != 2 || d.KMismatches != 0 || len(d.TPMismatches) != 10 {
+		t.Fatalf("ecu-early = %+v, want TP-only onset at 2", d)
+	}
+	if d := byDevice["ecu-late"]; d.FirstMismatch != 8 || len(d.TPMismatches) != 4 {
+		t.Fatalf("ecu-late = %+v, want TP-only onset at 8", d)
+	}
+	if d := byDevice["ecu-weird"]; d.Err == "" || !strings.Contains(d.Err, "geometry") {
+		t.Fatalf("ecu-weird = %+v, want a geometry error", d)
+	}
+
+	if len(rep.Populations) != 1 {
+		t.Fatalf("populations = %+v, want one signal", rep.Populations)
+	}
+	p := rep.Populations[0]
+	if p.Signal != "addr" || p.Compared != 3 || p.Affected != 2 || p.Failed != 1 {
+		t.Fatalf("population = %+v, want compared=3 affected=2 failed=1", p)
+	}
+	if p.OnsetMin != 2 || p.OnsetMax != 8 {
+		t.Fatalf("onsets [%d, %d], want [2, 8]", p.OnsetMin, p.OnsetMax)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricMineDevices] != 4 || snap.Counters[MetricMineAffected] != 2 {
+		t.Fatalf("mine counters devices=%d affected=%d, want 4/2",
+			snap.Counters[MetricMineDevices], snap.Counters[MetricMineAffected])
+	}
+}
+
+func TestMineStoreErrors(t *testing.T) {
+	st := mineFleetStore(t, t.TempDir())
+	if _, err := MineStore(st, MineConfig{}); err == nil {
+		t.Fatal("missing reference device accepted")
+	}
+	if _, err := MineStore(st, MineConfig{RefDevice: "nope"}); err == nil {
+		t.Fatal("unknown reference device accepted")
+	}
+	if _, err := MineStore(st, MineConfig{RefDevice: "ref-unit", Signal: "nope"}); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+	// Epoch-range selection: mining a window where only some of the
+	// drifted trace survives moves the onset.
+	rep, err := MineStore(st, MineConfig{RefDevice: "ref-unit", From: 1000, To: 1005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Devices {
+		if d.Device == "ecu-late" && d.Affected() {
+			t.Fatalf("ecu-late affected inside [1000, 1005] = %+v; its onset is at epoch 1008", d)
+		}
+		if d.Device == "ecu-early" && d.FirstMismatch != 2 {
+			t.Fatalf("ecu-early in-window = %+v, want onset 2", d)
+		}
+	}
+}

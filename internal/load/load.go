@@ -16,6 +16,9 @@
 //     is shed whole — 429, no jobs admitted, no solves run.
 //   - Malformed traffic is rejected with 4xx and does not wedge the
 //     server (healthz stays ok).
+//   - With Config.ExpectStore, the durable-store tee contract: exactly
+//     the wire-log-bearing traffic persists into the -store-dir log
+//     store, and the store's append/record/compaction counters balance.
 //
 // The workload is fully seeded: every TP, change set and spec derives
 // from Config.Seed, so a run is reproducible and distinct seeds keep
@@ -35,6 +38,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -71,6 +75,12 @@ type Config struct {
 	// probe sends a batch of QueueDepth+1 entries to provoke an atomic
 	// 429. Zero skips the probe.
 	QueueDepth int
+	// ExpectStore asserts the durable-store tee contract: the server
+	// runs with -store-dir, so every hot request (each carries a wire
+	// log) and every stream frame tees into the store, TP/K jobs and
+	// rejected malformed traffic do not, and the store's counters
+	// balance (appends == live records + compacted records).
+	ExpectStore bool
 	// Timeout is the client-side HTTP timeout (default 60s).
 	Timeout time.Duration
 	SLO     SLO
@@ -195,6 +205,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	r.check("shed-rate", rate <= cfg.SLO.MaxShedRate,
 		fmt.Sprintf("shed %d of %d admissions (rate %.3f, budget %.3f)", shed, shed+solves, rate, cfg.SLO.MaxShedRate))
+	if cfg.ExpectStore {
+		r.storeChecks(s0, sPre)
+	}
 
 	if cfg.QueueDepth > 0 {
 		r.overloadProbe()
@@ -260,6 +273,29 @@ func (r *runner) check(name string, ok bool, detail string) {
 		status = "FAIL"
 	}
 	r.logf("check %-24s %-4s %s", name, status, detail)
+}
+
+// storeChecks asserts the -store-dir tee contract across the run:
+// exactly the wire-log-bearing traffic teed (hot requests plus stream
+// frames — cold/batch TP-K jobs and rejected malformed bodies carry no
+// log to persist), no tee failed, and the store's global accounting
+// balances: every append is either a live record or was dropped by
+// segment-granular compaction.
+func (r *runner) storeChecks(s0, s1 obs.Snapshot) {
+	tees := s1.Counters[service.MetricStoreTees] - s0.Counters[service.MetricStoreTees]
+	teeErrs := s1.Counters[service.MetricStoreTeeErrors] - s0.Counters[service.MetricStoreTeeErrors]
+	want := int64(r.cfg.Hot)
+	if r.cfg.StreamAddr != "" {
+		want += int64(r.cfg.StreamFrames)
+	}
+	r.check("store-tees", tees == want && teeErrs == 0,
+		fmt.Sprintf("%d tees with %d errors (want %d: %d hot wire logs + stream frames)",
+			tees, teeErrs, want, r.cfg.Hot))
+	appends := s1.Counters[logstore.MetricAppends]
+	compacted := s1.Counters[logstore.MetricCompactedRecords]
+	records := s1.Gauges[logstore.MetricRecords].Value
+	r.check("store-balance", appends == records+compacted && appends > 0,
+		fmt.Sprintf("appends %d == live records %d + compacted %d", appends, records, compacted))
 }
 
 // scrape fetches and parses the server's /metrics snapshot.

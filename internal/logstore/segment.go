@@ -1,0 +1,243 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout. A segment file is a 16-byte header followed by
+// back-to-back CRC-framed records:
+//
+//	header:  u32 magic "TPSG" | u32 version | u64 sequence number
+//	record:  u32 payload length | u32 CRC-32C(payload) | payload
+//	payload: u16 len(device) | device | u16 len(signal) | signal |
+//	         i64 epoch | i64 traceCycleBase | body (a core.WriteLog
+//	         wire frame, self-delimiting, stored verbatim)
+//
+// All integers are little-endian. The CRC covers the payload only; the
+// length field is validated by range (a record must at least hold its
+// fixed fields plus a wire-log header) so a zero-filled or truncated
+// tail can never alias a valid record. Segments are append-only and
+// immutable once sealed: compaction drops whole files, never rewrites.
+const (
+	segMagic      = 0x47535054 // "TPSG"
+	segVersion    = 1
+	segHeaderSize = 16
+	recFrameSize  = 8 // u32 length + u32 crc
+
+	// minPayload is the smallest well-formed payload: two empty-length
+	// prefixes are illegal (device and signal are required non-empty),
+	// so 2+1 + 2+1 + 8 + 8 plus at least a 16-byte wire-log header.
+	minPayload = 38
+
+	// sparseEvery is the sparse-index sampling interval: every Nth
+	// record of a (device, signal) key within a segment lands an index
+	// point, bounding both rebuild memory and seek distance.
+	sparseEvery = 32
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentName renders the canonical file name for a sequence number.
+func segmentName(seq uint64) string { return fmt.Sprintf("seg-%08d.tpl", seq) }
+
+// parseSegmentName inverts segmentName; ok is false for foreign files.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".tpl") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".tpl"), 10, 64)
+	if err != nil || seq == 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the store's segment files sorted by sequence.
+func listSegments(dir string) ([]string, []uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type nseq struct {
+		name string
+		seq  uint64
+	}
+	var found []nseq
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			found = append(found, nseq{e.Name(), seq})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].seq < found[j].seq })
+	names := make([]string, len(found))
+	seqs := make([]uint64, len(found))
+	for i, f := range found {
+		names[i] = filepath.Join(dir, f.name)
+		seqs[i] = f.seq
+	}
+	return names, seqs, nil
+}
+
+// encodeSegmentHeader renders the 16-byte segment header.
+func encodeSegmentHeader(seq uint64) []byte {
+	buf := make([]byte, segHeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:], segMagic)
+	binary.LittleEndian.PutUint32(buf[4:], segVersion)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	return buf
+}
+
+// readSegmentHeader validates a segment header and returns its
+// sequence number.
+func readSegmentHeader(r io.Reader) (uint64, error) {
+	buf := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, fmt.Errorf("segment header: %v: %w", err, ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(buf[0:]); got != segMagic {
+		return 0, fmt.Errorf("segment magic %#x: %w", got, ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(buf[4:]); got != segVersion {
+		return 0, fmt.Errorf("segment version %d (want %d): %w", got, segVersion, ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint64(buf[8:]), nil
+}
+
+// encodeRecord renders a record's payload (the bytes under the CRC).
+// The caller has already validated the record via validateRecord.
+func encodeRecord(rec Record) []byte {
+	n := 2 + len(rec.Device) + 2 + len(rec.Signal) + 8 + 8 + len(rec.Body)
+	buf := make([]byte, 0, n)
+	var u16 [2]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(rec.Device)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, rec.Device...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(rec.Signal)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, rec.Signal...)
+	binary.LittleEndian.PutUint64(u64[:], uint64(rec.Epoch))
+	buf = append(buf, u64[:]...)
+	binary.LittleEndian.PutUint64(u64[:], uint64(rec.TraceCycleBase))
+	buf = append(buf, u64[:]...)
+	buf = append(buf, rec.Body...)
+	return buf
+}
+
+// frameRecord wraps a payload in its length+CRC frame.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, 0, recFrameSize+len(payload))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(payload)))
+	buf = append(buf, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, u32[:]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// decodeRecord inverts encodeRecord. It decodes only what encodeRecord
+// produced: any trailing ambiguity (short names, no body) is corruption.
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	take := func(n int) ([]byte, bool) {
+		if len(payload) < n {
+			return nil, false
+		}
+		out := payload[:n]
+		payload = payload[n:]
+		return out, true
+	}
+	dl, ok := take(2)
+	if !ok {
+		return rec, fmt.Errorf("record payload truncated in device length: %w", ErrCorrupt)
+	}
+	dev, ok := take(int(binary.LittleEndian.Uint16(dl)))
+	if !ok {
+		return rec, fmt.Errorf("record payload truncated in device name: %w", ErrCorrupt)
+	}
+	sl, ok := take(2)
+	if !ok {
+		return rec, fmt.Errorf("record payload truncated in signal length: %w", ErrCorrupt)
+	}
+	sig, ok := take(int(binary.LittleEndian.Uint16(sl)))
+	if !ok {
+		return rec, fmt.Errorf("record payload truncated in signal name: %w", ErrCorrupt)
+	}
+	fixed, ok := take(16)
+	if !ok {
+		return rec, fmt.Errorf("record payload truncated in epoch fields: %w", ErrCorrupt)
+	}
+	rec.Device = string(dev)
+	rec.Signal = string(sig)
+	rec.Epoch = int64(binary.LittleEndian.Uint64(fixed[0:]))
+	rec.TraceCycleBase = int64(binary.LittleEndian.Uint64(fixed[8:]))
+	rec.Body = append([]byte(nil), payload...)
+	if rec.Device == "" || rec.Signal == "" || len(rec.Body) == 0 {
+		return rec, fmt.Errorf("record with empty device, signal or body: %w", ErrCorrupt)
+	}
+	return rec, nil
+}
+
+// walkRecords scans records from r, which must be positioned just past
+// the segment header. fn is called with each intact record and its file
+// offset; returning a non-nil error stops the walk and is returned
+// verbatim (errStopWalk is swallowed — the early-exit the query path
+// uses). The returned offset is just past the last intact record; err
+// is nil on a clean end-of-segment and wraps ErrCorrupt when the walk
+// stopped at damage (torn frame, bad CRC, zero fill, undecodable
+// payload). Records past the damage are unreachable — the fail-closed
+// rule: bytes that fail the CRC frame are never served as data.
+func walkRecords(r io.Reader, maxRecord int64, fn func(rec Record, off int64) error) (int64, error) {
+	off := int64(segHeaderSize)
+	frame := make([]byte, recFrameSize)
+	for {
+		_, err := io.ReadFull(r, frame)
+		if err == io.EOF {
+			return off, nil // clean end exactly at a record boundary
+		}
+		if err != nil {
+			return off, fmt.Errorf("record frame at offset %d: %v: %w", off, err, ErrCorrupt)
+		}
+		length := int64(binary.LittleEndian.Uint32(frame[0:]))
+		wantCRC := binary.LittleEndian.Uint32(frame[4:])
+		if length < minPayload || length > maxRecord {
+			return off, fmt.Errorf("record length %d at offset %d outside [%d, %d]: %w",
+				length, off, minPayload, maxRecord, ErrCorrupt)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, fmt.Errorf("record payload at offset %d: %v: %w", off, err, ErrCorrupt)
+		}
+		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+			return off, fmt.Errorf("record CRC %#x (want %#x) at offset %d: %w", got, wantCRC, off, ErrCorrupt)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return off, fmt.Errorf("record at offset %d: %w", off, err)
+		}
+		if err := fn(rec, off); err != nil {
+			if errors.Is(err, errStopWalk) {
+				return off, nil
+			}
+			return off, err
+		}
+		off += recFrameSize + length
+	}
+}
+
+// errStopWalk is walkRecords' early-exit sentinel (sorted-epoch queries
+// stop once past their range).
+var errStopWalk = errors.New("logstore: stop walk")

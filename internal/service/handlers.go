@@ -54,6 +54,14 @@ type jobRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline
 	// (capped by Config.MaxTimeout).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Device, Signal and EpochUS label a wire-log job for the durable
+	// log store (Config.Store): a successfully served Log is teed into
+	// the store under this identity. Unset fields default to
+	// "unknown-device"/"unknown-signal"/ingest time; ignored without a
+	// store or for inline TP/K jobs.
+	Device  string `json:"device,omitempty"`
+	Signal  string `json:"signal,omitempty"`
+	EpochUS int64  `json:"epoch_us,omitempty"`
 }
 
 // workItem is one (trace-cycle, entry) unit of solve work assembled
@@ -227,6 +235,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, countOnly boo
 		}
 		er.TraceCycle = it.tc
 		resp.Results = append(resp.Results, er)
+	}
+	if job.Log != nil {
+		// Tee the wire body into the durable store only after the whole
+		// job succeeded: shed/failed requests are re-sent by clients, so
+		// teeing earlier would store duplicates the counters can't
+		// explain.
+		s.storeTee(job.Device, job.Signal, job.EpochUS, 0, job.Log)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -405,6 +420,15 @@ func (s *Server) parseJob(r *http.Request) (jobRequest, error) {
 	q := r.URL.Query()
 	job.Encoding.Scheme = q.Get("scheme")
 	job.Properties = q.Get("properties")
+	job.Device = q.Get("device")
+	job.Signal = q.Get("signal")
+	if v := q.Get("epoch_us"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return jobRequest{}, badRequest("query epoch_us=%q: %v", v, err)
+		}
+		job.EpochUS = n
+	}
 	for name, dst := range map[string]*int{
 		"m": &job.Encoding.M, "b": &job.Encoding.B, "depth": &job.Encoding.Depth,
 		"limit": &job.Limit, "timeout_ms": &job.TimeoutMS,

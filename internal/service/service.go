@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/reconstruct"
 )
@@ -116,6 +117,14 @@ const (
 	MetricStreamEntries     = "service.stream.entries"
 	MetricStreamFrameErrors = "service.stream.frame_errors"
 	SpanStreamFrame         = "service.stream.frame"
+	// Durable log store integration (store.go): wire logs teed into
+	// Config.Store after successful ingest, tee failures (counted, never
+	// failing the serving request), and the forensic endpoints'
+	// request counters.
+	MetricStoreTees      = "service.store.tees"
+	MetricStoreTeeErrors = "service.store.tee_errors"
+	MetricReqLogs        = "service.requests.logs"
+	MetricReqQuery       = "service.requests.query"
 )
 
 // Config tunes a Server. The zero value serves on an ephemeral port
@@ -179,6 +188,12 @@ type Config struct {
 	// "auto" (the default) lets the dispatcher's cost model route each
 	// request to the cheapest sound backend.
 	Oracle string
+	// Store, when non-nil, is the durable log store (internal/logstore)
+	// the server tees ingested wire logs into and serves GET /v1/logs
+	// and POST /v1/query from. The store is caller-owned: the caller
+	// opens it (handling recovery reports) and closes it after
+	// Shutdown.
+	Store *logstore.Store
 	// Obs receives the service metrics; nil disables instrumentation
 	// (every layer below tolerates that).
 	Obs *obs.Registry
@@ -236,6 +251,7 @@ type Server struct {
 	cache    *lruCache
 	flight   *flightGroup
 	admit    *admission
+	store    *logstore.Store
 
 	http     *http.Server
 	listener net.Listener
@@ -267,6 +283,7 @@ func New(cfg Config) *Server {
 		cache:    newLRUCache(cfg.CacheSize, cfg.Obs),
 		flight:   newFlightGroup(),
 		admit:    newAdmission(cfg.QueueDepth, cfg.Workers, cfg.Obs),
+		store:    cfg.Store,
 		ready:    make(chan struct{}),
 
 		streams:     newStreamTable(cfg.MaxStreams),
@@ -277,6 +294,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/count", s.handleCount)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	if s.store != nil {
+		mux.HandleFunc("GET /v1/logs", s.handleStoreLogs)
+		mux.HandleFunc("POST /v1/query", s.handleStoreQuery)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.Obs != nil {
 		h := obs.Handler(cfg.Obs)

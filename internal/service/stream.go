@@ -302,7 +302,7 @@ func (s *Server) handleStreamConn(conn net.Conn) {
 			})
 			return
 		}
-		reply, n, fatal := s.solveStreamFrame(spec, sess, st, frames, payload, constraints, propKey, limit, hello.CountOnly, hello.TimeoutMS)
+		reply, n, fatal := s.solveStreamFrame(hello, spec, sess, st, frames, payload, constraints, propKey, limit)
 		entries += n
 		if err := writeStreamLine(conn, reply); err != nil {
 			return
@@ -318,9 +318,12 @@ func (s *Server) handleStreamConn(conn net.Conn) {
 // validate against the pinned spec, solve every entry in order through
 // the shared session. The stream position advances only when the whole
 // frame succeeds, so a client can blindly re-send after a transient
-// error (the cache makes replayed entries nearly free). fatal marks
-// protocol-level failures that close the connection.
-func (s *Server) solveStreamFrame(spec EncodingSpec, sess *session, st *streamState, frame int, payload []byte, constraints []reconstruct.Constraint, propKey string, limit int, countOnly bool, timeoutMS int) (reply streamFrameReply, entries int, fatal bool) {
+// error (the cache makes replayed entries nearly free) — and only then
+// is the frame teed into the durable store, under the hello's (device,
+// signal) and its stream position, so re-sends never store twice.
+// fatal marks protocol-level failures that close the connection.
+func (s *Server) solveStreamFrame(hello StreamHello, spec EncodingSpec, sess *session, st *streamState, frame int, payload []byte, constraints []reconstruct.Constraint, propKey string, limit int) (reply streamFrameReply, entries int, fatal bool) {
+	countOnly, timeoutMS := hello.CountOnly, hello.TimeoutMS
 	defer s.obs.StartSpan(SpanStreamFrame).End()
 	reply = streamFrameReply{Frame: frame}
 	m, b, logEntries, err := core.ReadLog(bytes.NewReader(payload))
@@ -353,6 +356,7 @@ func (s *Server) solveStreamFrame(spec EncodingSpec, sess *session, st *streamSt
 		reply.Results = append(reply.Results, er)
 	}
 	st.nextTC = base + len(logEntries)
+	s.storeTee(hello.Device, hello.Signal, 0, int64(base), payload)
 	s.obs.Counter(MetricStreamFrames).Inc()
 	s.obs.Counter(MetricStreamEntries).Add(int64(len(logEntries)))
 	return reply, len(logEntries), false
