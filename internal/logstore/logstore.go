@@ -137,6 +137,12 @@ type Query struct {
 	Signal string
 	From   int64
 	To     int64
+	// Limit, when positive, bounds how many records the query returns:
+	// the scan stops as soon as Limit matches are collected (records
+	// come back in append order), so a bounded query over an unbounded
+	// epoch range never materializes the whole stored stream. 0 means
+	// unlimited.
+	Limit int
 }
 
 // AllTime returns the query covering a key's whole history.
@@ -257,6 +263,24 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		seg, segErr := s.scanSegment(name, seqs[i], rec)
 		if seg != nil {
 			s.segs = append(s.segs, seg)
+			s.absorbSegment(seg)
+		} else {
+			// Unsalvageable: the file must not keep squatting on its
+			// sequence number — newActiveSegment creates with O_EXCL, so
+			// a file dropped in place would fail the open (when it holds
+			// the lowest sequence) or wedge every rotation after recovery
+			// (when it holds the highest). Quarantine it instead: the
+			// bytes stay on disk for offline forensics, the sequence
+			// number is free again.
+			qpath, qerr := quarantineSegment(name)
+			if qerr != nil {
+				return nil, nil, fmt.Errorf("logstore: quarantine segment %s: %w", filepath.Base(name), qerr)
+			}
+			if err := s.syncDir(); err != nil {
+				return nil, nil, err
+			}
+			segErr = fmt.Errorf("logstore: segment %s quarantined as %s: %w",
+				filepath.Base(name), filepath.Base(qpath), segErr)
 		}
 		if segErr != nil {
 			rec.Errs = append(rec.Errs, segErr)
@@ -288,15 +312,18 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	if rec.Corrupt() {
 		s.obs.Counter(MetricRecoveries).Inc()
 		s.obs.Counter(MetricTruncatedBytes).Add(rec.TruncatedBytes)
+		s.obs.Counter(MetricRecoveredRecords).Add(int64(rec.Records))
 	}
-	s.obs.Counter(MetricRecoveredRecords).Add(int64(rec.Records))
 	s.publishGauges()
 	return s, rec, nil
 }
 
 // scanSegment rebuilds one segment's index, truncating any damaged
-// tail. It returns the usable segment (nil when even the header is
-// unreadable) and the damage found, wrapping ErrCorrupt.
+// tail. It returns the usable segment (nil when the segment is
+// unsalvageable — an unreadable header, or a tail that could not be
+// truncated — in which case Open quarantines the file) and the damage
+// found, wrapping ErrCorrupt. It touches only segment-local state;
+// Open absorbs the index into the store on success.
 func (s *Store) scanSegment(path string, seq uint64, rec *Recovery) (*segment, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -321,7 +348,7 @@ func (s *Store) scanSegment(path string, seq uint64, rec *Recovery) (*segment, e
 	}
 	seg := &segment{seq: seq, path: path, keys: make(map[Key]*keyIndex)}
 	goodOff, walkErr := walkRecords(br, s.opts.MaxRecordBytes, func(r Record, off int64) error {
-		s.indexRecord(seg, r, off)
+		indexSegmentRecord(seg, r, off)
 		return nil
 	})
 	seg.size = goodOff
@@ -348,9 +375,22 @@ func (s *Store) scanSegment(path string, seq uint64, rec *Recovery) (*segment, e
 	return seg, nil
 }
 
-// indexRecord folds one record into the segment index and the
-// store-wide bookkeeping (shared by the open-time scan and Append).
+// indexRecord folds one appended record into the segment index and the
+// store-wide bookkeeping. The open-time scan instead indexes into the
+// candidate segment only (indexSegmentRecord) and absorbs it on
+// success, so a segment dropped during recovery never pollutes the
+// store counters or the per-key epoch clamp.
 func (s *Store) indexRecord(seg *segment, r Record, off int64) {
+	indexSegmentRecord(seg, r, off)
+	s.stats.Records++
+	key := Key{r.Device, r.Signal}
+	if last, ok := s.lastEpoch[key]; !ok || r.Epoch > last {
+		s.lastEpoch[key] = r.Epoch
+	}
+}
+
+// indexSegmentRecord folds one record into a segment's local index.
+func indexSegmentRecord(seg *segment, r Record, off int64) {
 	key := Key{r.Device, r.Signal}
 	ki := seg.keys[key]
 	if ki == nil {
@@ -371,9 +411,16 @@ func (s *Store) indexRecord(seg *segment, r Record, off int64) {
 	}
 	ki.count++
 	seg.records++
-	s.stats.Records++
-	if last, ok := s.lastEpoch[key]; !ok || r.Epoch > last {
-		s.lastEpoch[key] = r.Epoch
+}
+
+// absorbSegment folds one scanned segment's index into the store-wide
+// bookkeeping. Caller is Open, once per salvaged segment.
+func (s *Store) absorbSegment(seg *segment) {
+	s.stats.Records += seg.records
+	for key, ki := range seg.keys {
+		if last, ok := s.lastEpoch[key]; !ok || ki.maxEpoch > last {
+			s.lastEpoch[key] = ki.maxEpoch
+		}
 	}
 }
 
@@ -569,6 +616,9 @@ func (s *Store) Query(q Query) ([]Record, error) {
 	key := Key{q.Device, q.Signal}
 	var out []Record
 	for _, seg := range s.segs {
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
 		ki := seg.keys[key]
 		if ki == nil || ki.count == 0 || ki.minEpoch > q.To || ki.maxEpoch < q.From {
 			continue
@@ -609,6 +659,9 @@ func (s *Store) scanForQuery(seg *segment, ki *keyIndex, key Key, q Query, out *
 		}
 		if rec.Epoch >= q.From && rec.Epoch <= q.To {
 			*out = append(*out, rec)
+			if q.Limit > 0 && len(*out) >= q.Limit {
+				return errStopWalk
+			}
 		}
 		return nil
 	}

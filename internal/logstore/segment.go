@@ -61,6 +61,27 @@ func parseSegmentName(name string) (uint64, bool) {
 	return seq, true
 }
 
+// quarantineSegment renames an unsalvageable segment file aside (to
+// <name>.corrupt, uniquified against earlier quarantines) so its
+// sequence number is free for reuse while the bytes stay on disk for
+// offline forensics. The suffix keeps the file invisible to
+// parseSegmentName, so later opens neither rescan nor re-report it.
+func quarantineSegment(path string) (string, error) {
+	dst := path + ".corrupt"
+	for n := 2; ; n++ {
+		if _, err := os.Lstat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		} else if err != nil {
+			return "", err
+		}
+		dst = fmt.Sprintf("%s.corrupt.%d", path, n)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", err
+	}
+	return dst, nil
+}
+
 // listSegments returns the store's segment files sorted by sequence.
 func listSegments(dir string) ([]string, []uint64, error) {
 	entries, err := os.ReadDir(dir)

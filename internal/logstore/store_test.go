@@ -216,10 +216,33 @@ func fillSegments(t *testing.T, st *Store, nSegs int) []Record {
 	return out
 }
 
+// countSegmentRecords walks one segment file and returns its record
+// count (the file must be intact).
+func countSegmentRecords(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := readSegmentHeader(f); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := walkRecords(f, 16<<20, func(Record, int64) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 // TestCrashRecoveryMatrix is the injected-failure matrix from the
 // issue: for each kind of damage, open-time recovery must salvage
 // every intact record, report the damage as an error wrapping
-// ErrCorrupt, and accept a post-recovery append that round-trips.
+// ErrCorrupt, and accept a post-recovery append (and rotation) that
+// round-trips.
 func TestCrashRecoveryMatrix(t *testing.T) {
 	type outcome struct {
 		names   []string // segment files, sorted
@@ -319,24 +342,32 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			damage: func(t *testing.T, dir string, o outcome) int {
 				// Remove the middle segment; count its records first.
 				mid := o.names[len(o.names)/2]
-				f, err := os.Open(mid)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if _, err := readSegmentHeader(f); err != nil {
-					t.Fatal(err)
-				}
-				lost := 0
-				if _, err := walkRecords(f, 16<<20, func(Record, int64) error {
-					lost++
-					return nil
-				}); err != nil {
-					t.Fatal(err)
-				}
-				f.Close()
+				lost := countSegmentRecords(t, mid)
 				if err := os.Remove(mid); err != nil {
 					t.Fatal(err)
 				}
+				return lost
+			},
+			wantErrs: true,
+		},
+		{
+			// A torn header on the highest-sequence segment must not
+			// leave the file squatting on its sequence number: segment
+			// creation is O_CREATE|O_EXCL, so recovery quarantines the
+			// file or every post-recovery rotation would die on "file
+			// exists" once the active segment fills.
+			name: "torn header on last segment",
+			damage: func(t *testing.T, dir string, o outcome) int {
+				last := o.names[len(o.names)-1]
+				lost := countSegmentRecords(t, last)
+				f, err := os.OpenFile(last, os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, 0); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
 				return lost
 			},
 			wantErrs: true,
@@ -446,12 +477,22 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			if len(after) != 1 || !bytes.Equal(after[0].Body, nb) {
 				t.Fatalf("post-recovery append did not round-trip (%d records)", len(after))
 			}
+			// Rotation after recovery must not collide with anything
+			// damage left on disk (the next sequence number has to be
+			// genuinely free).
+			if err := st.Rotate(); err != nil {
+				t.Fatalf("post-recovery rotate: %v", err)
+			}
+			if _, err := st.Append(Record{Device: "ecu-a", Signal: "sig", Epoch: 1<<40 + 1, Body: nb}); err != nil {
+				t.Fatalf("post-rotation append: %v", err)
+			}
 		})
 	}
 }
 
 // TestStoreCorruptHeader: a segment whose header is damaged is dropped
-// from the index (fail closed), reported, and the rest still serves.
+// from the index (fail closed), quarantined aside, reported, and the
+// rest still serves.
 func TestStoreCorruptHeader(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := mustOpen(t, dir, Options{SegmentBytes: 400})
@@ -479,6 +520,127 @@ func TestStoreCorruptHeader(t *testing.T) {
 	}
 	if len(got) >= len(recs) || len(got) == 0 {
 		t.Fatalf("salvaged %d records; want fewer than %d but nonzero", len(got), len(recs))
+	}
+	// The damaged file was moved aside for forensics, not deleted, and
+	// the quarantine name is invisible to the segment scanner.
+	if _, err := os.Stat(names[0] + ".corrupt"); err != nil {
+		t.Fatalf("damaged segment not quarantined: %v", err)
+	}
+	if _, err := os.Stat(names[0]); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("damaged segment still present at its sequence: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3 := mustOpen(t, dir, Options{SegmentBytes: 400})
+	if rec3.Corrupt() {
+		t.Fatalf("reopen after quarantine still reports damage: %v", rec3.Errs)
+	}
+}
+
+// TestStoreTornHeaderOnlySegment reproduces the newActiveSegment crash
+// window: the segment header write is not fsynced before first use, so
+// a crash can leave the store's only segment with a torn header. Open
+// must still succeed — the damaged file is quarantined, freeing
+// sequence 1 for the O_EXCL create — and appends must work at once.
+func TestStoreTornHeaderOnlySegment(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{})
+	body := wireBody(t, 64, 8, 2, 1)
+	if _, err := st.Append(Record{Device: "d", Signal: "s", Epoch: 1, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _, err := listSegments(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("want exactly one segment, got %v (err %v)", names, err)
+	}
+	if err := os.Truncate(names[0], 7); err != nil { // tear mid-header
+		t.Fatal(err)
+	}
+	st2, rec := mustOpen(t, dir, Options{})
+	if !rec.Corrupt() {
+		t.Fatal("torn header not reported")
+	}
+	if rec.Records != 0 {
+		t.Fatalf("salvaged %d record(s) from a headerless store", rec.Records)
+	}
+	if _, err := os.Stat(names[0] + ".corrupt"); err != nil {
+		t.Fatalf("damaged segment not quarantined: %v", err)
+	}
+	if _, err := st2.Append(Record{Device: "d", Signal: "s", Epoch: 2, Body: body}); err != nil {
+		t.Fatalf("append after quarantine: %v", err)
+	}
+	got, err := st2.Query(AllTime("d", "s"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("post-recovery query: %v (%d records, want 1)", err, len(got))
+	}
+	// A second crash in the same window quarantines again (uniquified
+	// name) rather than colliding with the first quarantine file.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(names[0], 7); err != nil {
+		t.Fatal(err)
+	}
+	st3, rec3 := mustOpen(t, dir, Options{})
+	if !rec3.Corrupt() {
+		t.Fatal("second torn header not reported")
+	}
+	if _, err := os.Stat(names[0] + ".corrupt.2"); err != nil {
+		t.Fatalf("second quarantine not uniquified: %v", err)
+	}
+	if _, err := st3.Append(Record{Device: "d", Signal: "s", Epoch: 3, Body: body}); err != nil {
+		t.Fatalf("append after second quarantine: %v", err)
+	}
+}
+
+// TestStoreQueryLimit: Query.Limit stops the scan early and returns
+// the first matches in append order — the service endpoints rely on
+// this to bound what an unbounded epoch range can materialize.
+func TestStoreQueryLimit(t *testing.T) {
+	st, _ := mustOpen(t, t.TempDir(), Options{SegmentBytes: 300})
+	for i := 0; i < 30; i++ {
+		if _, err := st.Append(Record{
+			Device: "d", Signal: "s", Epoch: int64(i), Body: wireBody(t, 32, 6, 1, int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().Segments < 2 {
+		t.Fatal("want a multi-segment store to exercise the cross-segment stop")
+	}
+	q := AllTime("d", "s")
+	q.Limit = 7
+	got, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("Limit=7 returned %d records", len(got))
+	}
+	for i, g := range got {
+		if g.Epoch != int64(i) {
+			t.Fatalf("record %d has epoch %d; limited queries must keep append order", i, g.Epoch)
+		}
+	}
+	// A limit above the match count returns everything.
+	q.Limit = 1000
+	if got, err = st.Query(q); err != nil || len(got) != 30 {
+		t.Fatalf("Limit=1000: %v (%d records, want 30)", err, len(got))
+	}
+	// Limit composes with a range: the first matches inside it.
+	got, err = st.Query(Query{Device: "d", Signal: "s", From: 10, To: 29, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ranged Limit=5 returned %d records", len(got))
+	}
+	if got[0].Epoch != 10 || got[4].Epoch != 14 {
+		t.Fatalf("ranged Limit=5 spans epochs %d..%d, want 10..14", got[0].Epoch, got[4].Epoch)
 	}
 }
 

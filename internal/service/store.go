@@ -103,6 +103,17 @@ func epochRange(from, to int64) (int64, int64) {
 	return from, to
 }
 
+// Server-side ceilings on how many stored records one request may
+// return or replay. Both endpoints also push their (capped) limit into
+// the store scan itself — logstore.Query.Limit stops the walk at
+// limit+1 matches — so an unbounded epoch range over a large stored
+// stream never materializes the whole stream in memory; the +1 record
+// is what flips the response's Truncated flag.
+const (
+	maxLogsLimit    = 10000
+	maxQueryRecords = 4096
+)
+
 // handleStoreLogs serves GET /v1/logs. Without device+signal it lists
 // the stored streams; with both it range-lists that stream's records.
 func (s *Server) handleStoreLogs(w http.ResponseWriter, r *http.Request) {
@@ -147,9 +158,14 @@ func (s *Server) handleStoreLogs(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	if limit > maxLogsLimit {
+		limit = maxLogsLimit
+	}
 	includeBodies := q.Get("include_bodies") == "1" || q.Get("include_bodies") == "true"
 
-	recs, err := s.store.Query(logstore.Query{Device: device, Signal: signal, From: from, To: to})
+	recs, err := s.store.Query(logstore.Query{
+		Device: device, Signal: signal, From: from, To: to, Limit: limit + 1,
+	})
 	if err != nil {
 		s.writeError(w, s.storeError(err))
 		return
@@ -195,7 +211,8 @@ type queryRequest struct {
 	CountOnly   bool         `json:"count_only,omitempty"`
 	TimeoutMS   int          `json:"timeout_ms,omitempty"`
 	// MaxRecords bounds how many stored frames one query replays
-	// (default 256); more match → Truncated.
+	// (default 256, server-capped at maxQueryRecords); more match →
+	// Truncated.
 	MaxRecords int `json:"max_records,omitempty"`
 }
 
@@ -237,8 +254,13 @@ func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	if req.MaxRecords <= 0 {
 		req.MaxRecords = 256
 	}
+	if req.MaxRecords > maxQueryRecords {
+		req.MaxRecords = maxQueryRecords
+	}
 	from, to := epochRange(req.FromEpochUS, req.ToEpochUS)
-	recs, err := s.store.Query(logstore.Query{Device: req.Device, Signal: req.Signal, From: from, To: to})
+	recs, err := s.store.Query(logstore.Query{
+		Device: req.Device, Signal: req.Signal, From: from, To: to, Limit: req.MaxRecords + 1,
+	})
 	if err != nil {
 		s.writeError(w, s.storeError(err))
 		return

@@ -352,6 +352,73 @@ func TestStoreQueryValidation(t *testing.T) {
 	}
 }
 
+// TestStoreLimitPushdown: both read endpoints bound how many stored
+// records a request returns or replays, flagging truncation — backed
+// by logstore.Query.Limit, so an unbounded epoch range never
+// materializes the whole stream server-side.
+func TestStoreLimitPushdown(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	_, base, _ := startServer(t, Config{Store: st}, 0)
+
+	wire, _ := testLog(t, 16, 8, 2)
+	for i := 0; i < 5; i++ {
+		resp, raw := postJSON(t, base+"/v1/reconstruct", map[string]any{
+			"encoding": map[string]any{"m": 16, "b": 8},
+			"log":      wire, "device": "ecu-lim", "signal": "sig",
+			"epoch_us": 100 + int64(i),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+
+	getLogs := func(limit string) logsResponse {
+		t.Helper()
+		httpResp, err := http.Get(base + "/v1/logs?device=ecu-lim&signal=sig&limit=" + limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(httpResp.Body)
+		httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusOK {
+			t.Fatalf("logs limit=%s: %d: %s", limit, httpResp.StatusCode, raw)
+		}
+		var lr logsResponse
+		if err := json.Unmarshal(raw, &lr); err != nil {
+			t.Fatalf("logs limit=%s: %v: %s", limit, err, raw)
+		}
+		return lr
+	}
+	if lr := getLogs("2"); len(lr.Records) != 2 || !lr.Truncated {
+		t.Fatalf("limit=2 returned %d records (truncated=%v), want 2 truncated", len(lr.Records), lr.Truncated)
+	}
+	if lr := getLogs("5"); len(lr.Records) != 5 || lr.Truncated {
+		t.Fatalf("limit=5 returned %d records (truncated=%v), want all 5 untruncated", len(lr.Records), lr.Truncated)
+	}
+
+	resp, raw := postJSON(t, base+"/v1/query", map[string]any{
+		"device": "ecu-lim", "signal": "sig",
+		"encoding":    map[string]any{"m": 16, "b": 8},
+		"max_records": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query max_records=3: %d: %s", resp.StatusCode, raw)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Records) != 3 || !qr.Truncated {
+		t.Fatalf("max_records=3 replayed %d records (truncated=%v), want 3 truncated", len(qr.Records), qr.Truncated)
+	}
+	for i, rec := range qr.Records {
+		if rec.EpochUS != 100+int64(i) {
+			t.Fatalf("record %d has epoch %d; bounded replay must keep append order", i, rec.EpochUS)
+		}
+	}
+}
+
 // TestStoreTeeErrorDoesNotFailRequest: a closed store makes tees fail,
 // which is counted but the serving request still succeeds.
 func TestStoreTeeErrorDoesNotFailRequest(t *testing.T) {
